@@ -1,0 +1,24 @@
+//! # advisors — baseline index advisors used by the WFIT evaluation
+//!
+//! * [`opt`] — the offline optimal oracle `OPT`: an exact per-part dynamic
+//!   program over the index transition graph with full knowledge of the
+//!   workload.  It provides the denominator of every "Total Work Ratio
+//!   (OPT = 1)" curve in the paper, and its create/drop schedule is the source
+//!   of the `V_GOOD` / `V_BAD` feedback streams of Figures 9 and 10.
+//! * [`bc`] — an adaptation of the Bruno–Chaudhuri online tuning algorithm
+//!   (ICDE 2007), the paper's main online competitor: full index-independence
+//!   partition, per-index benefit accounting with create/drop hysteresis, and
+//!   a heuristic adjustment for index interactions.
+//! * [`naive`] — trivial baselines (never index / always index every
+//!   candidate) used for sanity checks and ablations.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bc;
+pub mod naive;
+pub mod opt;
+
+pub use bc::BruchoChaudhuriAdvisor;
+pub use naive::{AllCandidatesAdvisor, NoIndexAdvisor};
+pub use opt::{compute_optimal, good_feedback_stream, OptSchedule};

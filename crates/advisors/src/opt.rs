@@ -1,0 +1,373 @@
+//! The offline optimal oracle `OPT`.
+//!
+//! OPT "has full knowledge of the workload and generates the optimal
+//! recommendations that minimize total work" (Section 6.1).  With a stable
+//! partition `{C_1, …, C_K}`, the total work decomposes per part (see the
+//! proof of Theorem 4.3), so the optimum can be computed exactly by one
+//! dynamic program per part over the configurations `X ⊆ C_k`:
+//!
+//! ```text
+//! opt_n(Y) = min_X { opt_{n−1}(X) + δ(X, Y) } + cost(q_n, Y),   opt_0(S_0 ∩ C_k) = 0
+//! ```
+//!
+//! The cumulative optimum after `n` statements (the denominator of the
+//! figures) is `Σ_k min_Y opt_n^{(k)}(Y) − (K−1) Σ_{i≤n} cost(q_i, ∅)`, and
+//! backtracking the argmins yields OPT's create/drop schedule, from which the
+//! `V_GOOD` feedback stream of Figure 9 is derived.
+
+use ibg::partition::Partition;
+use ibg::IndexBenefitGraph;
+use simdb::index::{IndexId, IndexSet};
+use simdb::query::Statement;
+use wfit_core::env::TuningEnv;
+use wfit_core::evaluator::FeedbackStream;
+
+/// The result of the offline optimization.
+#[derive(Debug, Clone)]
+pub struct OptSchedule {
+    /// The configuration OPT uses for each statement (union across parts).
+    pub schedule: Vec<IndexSet>,
+    /// Cumulative optimal total work after each statement — the `OPT = 1`
+    /// normalization curve of the figures.
+    pub cumulative: Vec<f64>,
+    /// Total work of the optimal schedule over the full workload.
+    pub total: f64,
+    /// Index creations along the schedule: `(statement position, index)`.
+    pub creations: Vec<(usize, IndexId)>,
+    /// Index drops along the schedule: `(statement position, index)`.
+    pub drops: Vec<(usize, IndexId)>,
+}
+
+impl OptSchedule {
+    /// Cumulative optimal total work after `n` statements (1-based).
+    pub fn cumulative_at(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.cumulative[n.min(self.cumulative.len()) - 1]
+        }
+    }
+}
+
+/// Compute the optimal schedule for `workload` restricted to the candidates
+/// of `partition`, starting from `initial`.
+pub fn compute_optimal<E: TuningEnv>(
+    env: &E,
+    workload: &[Statement],
+    partition: &Partition,
+    initial: &IndexSet,
+) -> OptSchedule {
+    let n = workload.len();
+    let all_candidates: IndexSet =
+        IndexSet::from_iter(partition.iter().flatten().copied());
+
+    // Pre-compute, for every statement, the cost of every configuration within
+    // each part (through one IBG per statement) and the empty-set cost.
+    // costs[k][i][mask] = cost(q_{i+1}, set(mask) within part k).
+    let mut costs: Vec<Vec<Vec<f64>>> = partition
+        .iter()
+        .map(|part| vec![vec![0.0; 1 << part.len()]; n])
+        .collect();
+    let mut empty_costs = vec![0.0; n];
+    for (i, stmt) in workload.iter().enumerate() {
+        let ibg = IndexBenefitGraph::build(all_candidates.clone(), |cfg| env.whatif(stmt, cfg));
+        empty_costs[i] = ibg.cost(&IndexSet::empty());
+        for (k, part) in partition.iter().enumerate() {
+            for mask in 0..(1usize << part.len()) {
+                let cfg = set_of(part, mask);
+                costs[k][i][mask] = ibg.cost(&cfg);
+            }
+        }
+    }
+
+    // Per-part DP.
+    let mut per_part_best_prefix: Vec<Vec<f64>> = Vec::with_capacity(partition.len());
+    let mut per_part_schedule: Vec<Vec<usize>> = Vec::with_capacity(partition.len());
+    for (k, part) in partition.iter().enumerate() {
+        let size = 1usize << part.len();
+        let create: Vec<f64> = part.iter().map(|&id| env.create_cost(id)).collect();
+        let drop: Vec<f64> = part.iter().map(|&id| env.drop_cost(id)).collect();
+        let delta = |from: usize, to: usize| -> f64 {
+            let mut c = 0.0;
+            for bit in 0..part.len() {
+                let m = 1usize << bit;
+                if to & m != 0 && from & m == 0 {
+                    c += create[bit];
+                }
+                if from & m != 0 && to & m == 0 {
+                    c += drop[bit];
+                }
+            }
+            c
+        };
+        let initial_mask = mask_of(part, initial);
+
+        let mut opt = vec![f64::INFINITY; size];
+        opt[initial_mask] = 0.0;
+        // pred[i][y] = best predecessor configuration before statement i.
+        let mut pred: Vec<Vec<usize>> = vec![vec![0; size]; n];
+        let mut best_prefix = vec![0.0; n];
+        for i in 0..n {
+            let mut next = vec![f64::INFINITY; size];
+            for y in 0..size {
+                let mut best = f64::INFINITY;
+                let mut best_x = y;
+                for x in 0..size {
+                    if opt[x].is_infinite() {
+                        continue;
+                    }
+                    let v = opt[x] + delta(x, y);
+                    if v < best {
+                        best = v;
+                        best_x = x;
+                    }
+                }
+                next[y] = best + costs[k][i][y];
+                pred[i][y] = best_x;
+            }
+            opt = next;
+            best_prefix[i] = opt.iter().copied().fold(f64::INFINITY, f64::min);
+        }
+        // Backtrack the full-workload optimal path.
+        let mut schedule = vec![0usize; n];
+        if n > 0 {
+            let mut y = (0..size)
+                .min_by(|&a, &b| opt[a].partial_cmp(&opt[b]).unwrap())
+                .unwrap_or(initial_mask);
+            for i in (0..n).rev() {
+                schedule[i] = y;
+                y = pred[i][y];
+            }
+        }
+        per_part_best_prefix.push(best_prefix);
+        per_part_schedule.push(schedule);
+    }
+
+    // Combine parts.
+    let k_parts = partition.len().max(1);
+    let mut cumulative = vec![0.0; n];
+    let mut empty_prefix = 0.0;
+    for i in 0..n {
+        empty_prefix += empty_costs[i];
+        let sum_parts: f64 = per_part_best_prefix.iter().map(|v| v[i]).sum();
+        cumulative[i] = if partition.is_empty() {
+            empty_prefix
+        } else {
+            sum_parts - (k_parts as f64 - 1.0) * empty_prefix
+        };
+    }
+
+    let mut schedule = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut cfg = IndexSet::empty();
+        for (k, part) in partition.iter().enumerate() {
+            cfg = cfg.union(&set_of(part, per_part_schedule[k][i]));
+        }
+        schedule.push(cfg);
+    }
+
+    // Derive create/drop events.
+    let mut creations = Vec::new();
+    let mut drops = Vec::new();
+    let mut previous = initial.clone();
+    for (i, cfg) in schedule.iter().enumerate() {
+        for id in cfg.difference(&previous).iter() {
+            creations.push((i + 1, id));
+        }
+        for id in previous.difference(cfg).iter() {
+            drops.push((i + 1, id));
+        }
+        previous = cfg.clone();
+    }
+
+    let total = cumulative.last().copied().unwrap_or(0.0);
+    OptSchedule {
+        schedule,
+        cumulative,
+        total,
+        creations,
+        drops,
+    }
+}
+
+/// Build the "prescient DBA" feedback stream `V_GOOD` of Figure 9: a positive
+/// vote for an index at the position where OPT creates it and a negative vote
+/// where OPT drops it.  Use [`FeedbackStream::mirrored`] to obtain `V_BAD`.
+pub fn good_feedback_stream(opt: &OptSchedule) -> FeedbackStream {
+    let mut stream = FeedbackStream::empty();
+    for &(pos, id) in &opt.creations {
+        stream.add(pos, IndexSet::single(id), IndexSet::empty());
+    }
+    for &(pos, id) in &opt.drops {
+        stream.add(pos, IndexSet::empty(), IndexSet::single(id));
+    }
+    stream
+}
+
+fn set_of(part: &[IndexId], mask: usize) -> IndexSet {
+    IndexSet::from_iter(
+        part.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, id)| *id),
+    )
+}
+
+fn mask_of(part: &[IndexId], set: &IndexSet) -> usize {
+    let mut mask = 0usize;
+    for (i, id) in part.iter().enumerate() {
+        if set.contains(*id) {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfit_core::env::{mock_statement, MockEnv};
+    use wfit_core::evaluator::total_work_of_schedule;
+
+    fn scripted() -> (MockEnv, Vec<Statement>, IndexId) {
+        let env = MockEnv::new(30.0, 0.0);
+        let a = IndexId(0);
+        // Ten queries where the index saves 45 each, then ten updates where it
+        // costs 20 each.
+        let mut workload = Vec::new();
+        for i in 0..20u32 {
+            let q = mock_statement(i + 1);
+            if i < 10 {
+                env.set_cost(&q, &IndexSet::empty(), 50.0);
+                env.set_cost(&q, &IndexSet::single(a), 5.0);
+            } else {
+                env.set_cost(&q, &IndexSet::empty(), 5.0);
+                env.set_cost(&q, &IndexSet::single(a), 25.0);
+            }
+            workload.push(q);
+        }
+        (env, workload, a)
+    }
+
+    #[test]
+    fn optimal_schedule_creates_then_drops() {
+        let (env, workload, a) = scripted();
+        let opt = compute_optimal(&env, &workload, &vec![vec![a]], &IndexSet::empty());
+        // The index must be used during the query phase and dropped for the
+        // update phase.
+        assert!(opt.schedule[2].contains(a));
+        assert!(!opt.schedule[15].contains(a));
+        assert_eq!(opt.creations.iter().filter(|(_, id)| *id == a).count(), 1);
+        assert_eq!(opt.drops.iter().filter(|(_, id)| *id == a).count(), 1);
+        // Manual optimum: create at 1 (30) + 10×5 + drop (0) + 10×5 = 130.
+        assert!((opt.total - 130.0).abs() < 1e-9, "{}", opt.total);
+    }
+
+    #[test]
+    fn schedule_total_matches_replay() {
+        let (env, workload, a) = scripted();
+        let opt = compute_optimal(&env, &workload, &vec![vec![a]], &IndexSet::empty());
+        let replay = total_work_of_schedule(&env, &workload, &opt.schedule, &IndexSet::empty());
+        assert!((replay.total_work - opt.total).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cumulative_prefix_optima_are_not_greater_than_final_path_prefixes() {
+        let (env, workload, a) = scripted();
+        let opt = compute_optimal(&env, &workload, &vec![vec![a]], &IndexSet::empty());
+        let replay = total_work_of_schedule(&env, &workload, &opt.schedule, &IndexSet::empty());
+        for i in 0..workload.len() {
+            assert!(opt.cumulative[i] <= replay.outcomes[i].cumulative_total_work + 1e-6);
+        }
+        // The cumulative curve is non-decreasing.
+        for w in opt.cumulative.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn optimum_is_lower_bound_for_any_online_schedule() {
+        let (env, workload, a) = scripted();
+        let opt = compute_optimal(&env, &workload, &vec![vec![a]], &IndexSet::empty());
+        // Never indexing.
+        let never: Vec<IndexSet> = workload.iter().map(|_| IndexSet::empty()).collect();
+        let never_cost = total_work_of_schedule(&env, &workload, &never, &IndexSet::empty());
+        assert!(opt.total <= never_cost.total_work + 1e-9);
+        // Always indexing.
+        let always: Vec<IndexSet> = workload.iter().map(|_| IndexSet::single(a)).collect();
+        let always_cost = total_work_of_schedule(&env, &workload, &always, &IndexSet::empty());
+        assert!(opt.total <= always_cost.total_work + 1e-9);
+    }
+
+    #[test]
+    fn good_feedback_votes_follow_the_schedule() {
+        let (env, workload, a) = scripted();
+        let opt = compute_optimal(&env, &workload, &vec![vec![a]], &IndexSet::empty());
+        let stream = good_feedback_stream(&opt);
+        assert_eq!(stream.len(), 2);
+        let (create_pos, _) = opt.creations[0];
+        let (p, n) = stream.at(create_pos).unwrap();
+        assert!(p.contains(a));
+        assert!(n.is_empty());
+        let mirrored = stream.mirrored();
+        let (p, n) = mirrored.at(create_pos).unwrap();
+        assert!(p.is_empty());
+        assert!(n.contains(a));
+    }
+
+    #[test]
+    fn multi_part_decomposition_is_consistent() {
+        // Two independent indices on two different statements: the two-part
+        // optimum must equal the replayed cost of its own schedule.
+        let env = MockEnv::new(10.0, 0.0);
+        let a = IndexId(0);
+        let b = IndexId(1);
+        let mut workload = Vec::new();
+        for i in 0..10u32 {
+            let q = mock_statement(i + 1);
+            let helped = if i % 2 == 0 { a } else { b };
+            for mask in 0..4u32 {
+                let cfg = IndexSet::from_iter(
+                    [a, b]
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| mask & (1 << j) != 0)
+                        .map(|(_, id)| *id),
+                );
+                let cost = if cfg.contains(helped) { 2.0 } else { 20.0 };
+                env.set_cost(&q, &cfg, cost);
+            }
+            workload.push(q);
+        }
+        let opt = compute_optimal(
+            &env,
+            &workload,
+            &vec![vec![a], vec![b]],
+            &IndexSet::empty(),
+        );
+        let replay = total_work_of_schedule(&env, &workload, &opt.schedule, &IndexSet::empty());
+        assert!(
+            (replay.total_work - opt.total).abs() < 1e-6,
+            "{} vs {}",
+            replay.total_work,
+            opt.total
+        );
+        // Statement 9 (position 8, 0-based) favors a, statement 10 favors b;
+        // the optimal schedule must have the matching index materialized when
+        // the statement that needs it runs.
+        assert!(opt.schedule[8].contains(a));
+        assert!(opt.schedule[9].contains(b));
+    }
+
+    #[test]
+    fn empty_workload_and_empty_partition() {
+        let env = MockEnv::new(1.0, 1.0);
+        let opt = compute_optimal(&env, &[], &vec![vec![IndexId(0)]], &IndexSet::empty());
+        assert_eq!(opt.total, 0.0);
+        assert!(opt.schedule.is_empty());
+        let q = mock_statement(1);
+        env.set_cost(&q, &IndexSet::empty(), 3.0);
+        let opt = compute_optimal(&env, &[q], &Vec::new(), &IndexSet::empty());
+        assert!((opt.total - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 12 — Automatic maintenance of the stable partition.
+//!
+//! Full WFIT with `chooseCands` enabled (AUTO: the candidate set and the
+//! stable partition evolve with the workload; `idxCnt = 40`, `stateCnt = 500`,
+//! `histSize = 100`) versus WFIT with the fixed offline partition (FIXED).
+//! The paper observes a modest improvement for AUTO, which can even exceed
+//! OPT in the early read-mostly phases because it specializes its candidates
+//! per phase.
+
+use bench::{print_table, summary_line, Experiment};
+use simdb::index::IndexSet;
+use wfit_core::config::WfitConfig;
+use wfit_core::evaluator::RunOptions;
+use wfit_core::wfit::Wfit;
+
+fn main() {
+    let experiment = Experiment::prepare();
+    let options = RunOptions::default();
+    let mut series = Vec::new();
+    let mut runs = Vec::new();
+
+    let mut auto = Wfit::new(&experiment.bench.db, WfitConfig::default()).with_name("AUTO");
+    let run = experiment.run(&mut auto, &options);
+    series.push(("AUTO".to_string(), experiment.ratio_series(&run)));
+    println!(
+        "AUTO: mined {} candidates, repartitioned {} times, {} what-if calls over {} statements",
+        auto.monitored().len(),
+        auto.repartition_count(),
+        auto.whatif_calls(),
+        auto.statements_analyzed()
+    );
+    runs.push(run);
+
+    let mut fixed = Wfit::with_fixed_partition(
+        &experiment.bench.db,
+        WfitConfig::default(),
+        experiment.selection.partition.clone(),
+        IndexSet::empty(),
+    )
+    .with_name("FIXED");
+    let run = experiment.run(&mut fixed, &options);
+    series.push(("FIXED".to_string(), experiment.ratio_series(&run)));
+    runs.push(run);
+
+    print_table(
+        "Figure 12: Automatic maintenance of the stable partition",
+        &experiment.checkpoints(),
+        &series,
+    );
+    println!();
+    for run in &runs {
+        println!("{}", summary_line(&experiment, run));
+    }
+}

@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the building blocks: the per-statement cost
+//! of `WFA.analyzeQuery` as a function of part size, IBG construction, the
+//! what-if optimizer itself, and `choosePartition`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ibg::partition::InteractionWeights;
+use ibg::IndexBenefitGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simdb::index::{IndexId, IndexSet};
+use wfit_core::candidates::choose_partition;
+use wfit_core::config::WfitConfig;
+use wfit_core::env::TuningEnv;
+use wfit_core::wfa::WfaInstance;
+use workload::{Benchmark, BenchmarkSpec};
+
+fn bench_wfa_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wfa_analyze_query");
+    for part_size in [4usize, 8, 10] {
+        let ids: Vec<IndexId> = (0..part_size as u32).map(IndexId).collect();
+        let costs: Vec<f64> = (0..(1usize << part_size))
+            .map(|m| 1000.0 / (1.0 + m.count_ones() as f64))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(part_size),
+            &part_size,
+            |b, _| {
+                let mut wfa = WfaInstance::new(
+                    ids.clone(),
+                    vec![500.0; part_size],
+                    vec![1.0; part_size],
+                    &IndexSet::empty(),
+                );
+                b.iter(|| wfa.analyze_query_with_costs(&costs));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ibg_and_whatif(c: &mut Criterion) {
+    let bench = Benchmark::generate(BenchmarkSpec::small(2));
+    let stmt = bench
+        .statements
+        .iter()
+        .find(|s| !s.is_update())
+        .expect("workload has queries")
+        .clone();
+    let candidates = bench.db.extract_candidates(&stmt);
+    let relevant = IndexSet::from_iter(candidates.iter().copied());
+
+    c.bench_function("whatif_single_call", |b| {
+        b.iter(|| bench.db.whatif(&stmt, &relevant));
+    });
+    c.bench_function("ibg_build_per_statement", |b| {
+        b.iter(|| IndexBenefitGraph::build(relevant.clone(), |cfg| bench.db.whatif(&stmt, cfg)));
+    });
+}
+
+fn bench_choose_partition(c: &mut Criterion) {
+    let ids: Vec<IndexId> = (0..24u32).map(IndexId).collect();
+    let mut weights = InteractionWeights::new();
+    for i in 0..24u32 {
+        for j in (i + 1)..24u32 {
+            if (i + j) % 3 == 0 {
+                weights.set(IndexId(i), IndexId(j), (i + j) as f64);
+            }
+        }
+    }
+    let config = WfitConfig::default();
+    c.bench_function("choose_partition_24_candidates", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            choose_partition(
+                &ids,
+                &Vec::new(),
+                &weights,
+                config.state_cnt,
+                config.max_part_size,
+                config.rand_cnt,
+                &mut rng,
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wfa_analyze,
+    bench_ibg_and_whatif,
+    bench_choose_partition
+);
+criterion_main!(benches);

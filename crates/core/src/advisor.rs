@@ -1,0 +1,53 @@
+//! The common interface implemented by every index advisor in this
+//! repository (WFIT, WFA⁺ with a fixed partition, WFIT-IND, the
+//! Bruno–Chaudhuri baseline, and the offline OPT oracle wrapper).
+
+use simdb::index::IndexSet;
+use simdb::query::Statement;
+
+/// An online (or replayed offline) index advisor.
+///
+/// The driver calls [`IndexAdvisor::analyze_query`] for every statement in
+/// workload order, may call [`IndexAdvisor::feedback`] at any point between
+/// statements, and reads the current recommendation with
+/// [`IndexAdvisor::recommend`].
+pub trait IndexAdvisor {
+    /// Analyze the next workload statement.
+    fn analyze_query(&mut self, stmt: &Statement);
+
+    /// The advisor's current recommendation.
+    fn recommend(&self) -> IndexSet;
+
+    /// Deliver DBA feedback: positive votes for `positive`, negative votes for
+    /// `negative`.  Advisors that do not support feedback (e.g. BC) ignore it.
+    fn feedback(&mut self, positive: &IndexSet, negative: &IndexSet) {
+        let _ = (positive, negative);
+    }
+
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(IndexSet);
+    impl IndexAdvisor for Fixed {
+        fn analyze_query(&mut self, _stmt: &Statement) {}
+        fn recommend(&self) -> IndexSet {
+            self.0.clone()
+        }
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+    }
+
+    #[test]
+    fn default_feedback_is_a_noop() {
+        let mut a = Fixed(IndexSet::empty());
+        a.feedback(&IndexSet::empty(), &IndexSet::empty());
+        assert_eq!(a.recommend(), IndexSet::empty());
+        assert_eq!(a.name(), "fixed");
+    }
+}

@@ -1,0 +1,213 @@
+//! WFA⁺ — the divide-and-conquer Work Function Algorithm of Section 4.2.
+//!
+//! Given a *stable partition* `{C_1, …, C_K}` of the candidate set, WFA⁺ runs
+//! one [`WfaInstance`] per part and unions their recommendations.  Theorem 4.2
+//! shows this makes exactly the same recommendations as a single WFA instance
+//! over the whole candidate set, while tracking only `Σ_k 2^|C_k|`
+//! configurations instead of `2^|C|`, and Theorem 4.3 improves the competitive
+//! ratio to `2^{cmax+1} − 1`.
+
+use crate::advisor::IndexAdvisor;
+use crate::env::TuningEnv;
+use crate::wfa::WfaInstance;
+use simdb::index::{IndexId, IndexSet};
+use simdb::query::Statement;
+
+/// WFA⁺ over a fixed candidate set and fixed stable partition.
+///
+/// This is also the algorithm the paper's experiments call "WFIT with a fixed
+/// stable partition" (the simplification used in Figures 8–11, where
+/// `chooseCands` always returns the same partition): with a fixed partition
+/// and no candidate maintenance, WFIT degenerates to WFA⁺ plus the feedback
+/// mechanism, which this type implements as well.
+pub struct WfaPlus<'e, E: TuningEnv> {
+    env: &'e E,
+    parts: Vec<WfaInstance>,
+    name: String,
+}
+
+impl<'e, E: TuningEnv> WfaPlus<'e, E> {
+    /// Create WFA⁺ over the given partition, starting from the materialized
+    /// set `initial`.
+    pub fn new(env: &'e E, partition: &[Vec<IndexId>], initial: &IndexSet) -> Self {
+        let parts = partition
+            .iter()
+            .filter(|p| !p.is_empty())
+            .map(|part| {
+                let create = part.iter().map(|&id| env.create_cost(id)).collect();
+                let drop = part.iter().map(|&id| env.drop_cost(id)).collect();
+                WfaInstance::new(part.clone(), create, drop, initial)
+            })
+            .collect();
+        Self {
+            env,
+            parts,
+            name: "WFA+".to_string(),
+        }
+    }
+
+    /// Override the display name (used by the experiment harness to label
+    /// variants such as `WFIT-500` or `WFIT-IND`).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The per-part WFA instances.
+    pub fn parts(&self) -> &[WfaInstance] {
+        &self.parts
+    }
+
+    /// Total number of configurations tracked, `Σ_k 2^|C_k|`.
+    pub fn state_count(&self) -> usize {
+        self.parts.iter().map(|p| p.state_count()).sum()
+    }
+
+    /// All candidate indices across parts.
+    pub fn candidates(&self) -> IndexSet {
+        IndexSet::from_iter(self.parts.iter().flat_map(|p| p.indices().iter().copied()))
+    }
+}
+
+impl<'e, E: TuningEnv> IndexAdvisor for WfaPlus<'e, E> {
+    fn analyze_query(&mut self, stmt: &Statement) {
+        // Build one IBG per statement over the candidates relevant to it, so
+        // that each per-part configuration cost is an (amortized) cache lookup
+        // rather than a fresh what-if optimization.
+        let relevant = self.candidates();
+        let ibg = ibg::IndexBenefitGraph::build(relevant, |cfg| self.env.whatif(stmt, cfg));
+        for part in &mut self.parts {
+            part.analyze_query(|cfg| ibg.cost(cfg));
+        }
+    }
+
+    fn recommend(&self) -> IndexSet {
+        let mut rec = IndexSet::empty();
+        for part in &self.parts {
+            rec = rec.union(&part.recommend());
+        }
+        rec
+    }
+
+    fn feedback(&mut self, positive: &IndexSet, negative: &IndexSet) {
+        for part in &mut self.parts {
+            part.apply_feedback(positive, negative);
+        }
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{mock_statement, MockEnv};
+
+    /// Build a mock environment with `k` independent indices: index `i` saves
+    /// `saving[i]` on query `i` (queries are distinct statements), regardless
+    /// of the other indices.  Costs are additive across indices, so every
+    /// partition of the indices is stable.
+    fn additive_env(savings: &[f64], base: f64, create: f64) -> (MockEnv, Vec<Statement>, Vec<IndexId>) {
+        let env = MockEnv::new(create, 0.0);
+        let ids: Vec<IndexId> = (0..savings.len() as u32).map(IndexId).collect();
+        let mut stmts = Vec::new();
+        for (i, _) in savings.iter().enumerate() {
+            let q = mock_statement(i as u32 + 1);
+            // cost(q_i, X) = base − savings[i] * [ids[i] ∈ X]
+            for mask in 0u32..(1 << ids.len()) {
+                let cfg = IndexSet::from_iter(
+                    ids.iter()
+                        .enumerate()
+                        .filter(|(j, _)| mask & (1 << j) != 0)
+                        .map(|(_, id)| *id),
+                );
+                let cost = if cfg.contains(ids[i]) {
+                    base - savings[i]
+                } else {
+                    base
+                };
+                env.set_cost(&q, &cfg, cost);
+            }
+            stmts.push(q);
+        }
+        (env, stmts, ids)
+    }
+
+    #[test]
+    fn wfa_plus_equals_single_wfa_on_stable_partition() {
+        // Theorem 4.2 on an additive (fully independent) cost model: the
+        // singleton partition and the single-part partition must recommend the
+        // same indices after every statement.
+        let (env, stmts, ids) = additive_env(&[30.0, 5.0, 40.0], 100.0, 25.0);
+        let singleton_partition: Vec<Vec<IndexId>> = ids.iter().map(|&i| vec![i]).collect();
+        let joint_partition = vec![ids.clone()];
+        let mut split = WfaPlus::new(&env, &singleton_partition, &IndexSet::empty());
+        let mut joint = WfaPlus::new(&env, &joint_partition, &IndexSet::empty());
+
+        // Replay the workload a few times so recommendations evolve.
+        for round in 0..4 {
+            for q in &stmts {
+                split.analyze_query(q);
+                joint.analyze_query(q);
+                assert_eq!(
+                    split.recommend(),
+                    joint.recommend(),
+                    "round {round}: partitioned and joint WFA diverged"
+                );
+            }
+        }
+        // Indices with repeated savings above the create cost get recommended,
+        // the useless one does not.
+        let rec = split.recommend();
+        assert!(rec.contains(ids[0]));
+        assert!(rec.contains(ids[2]));
+        assert!(!rec.contains(ids[1]));
+    }
+
+    #[test]
+    fn state_count_is_sum_of_part_sizes() {
+        let (env, _stmts, ids) = additive_env(&[1.0, 1.0, 1.0, 1.0], 10.0, 5.0);
+        let p1 = WfaPlus::new(&env, &[ids.clone()], &IndexSet::empty());
+        assert_eq!(p1.state_count(), 16);
+        let parts: Vec<Vec<IndexId>> = ids.chunks(2).map(|c| c.to_vec()).collect();
+        let p2 = WfaPlus::new(&env, &parts, &IndexSet::empty());
+        assert_eq!(p2.state_count(), 8);
+        assert_eq!(p2.candidates().len(), 4);
+    }
+
+    #[test]
+    fn feedback_applies_across_parts() {
+        let (env, stmts, ids) = additive_env(&[10.0, 10.0], 50.0, 100.0);
+        let parts: Vec<Vec<IndexId>> = ids.iter().map(|&i| vec![i]).collect();
+        let mut adv = WfaPlus::new(&env, &parts, &IndexSet::empty());
+        adv.analyze_query(&stmts[0]);
+        assert_eq!(adv.recommend(), IndexSet::empty());
+        adv.feedback(&IndexSet::from_iter(ids.iter().copied()), &IndexSet::empty());
+        assert_eq!(adv.recommend(), IndexSet::from_iter(ids.iter().copied()));
+        adv.feedback(&IndexSet::empty(), &IndexSet::single(ids[0]));
+        let rec = adv.recommend();
+        assert!(!rec.contains(ids[0]));
+        assert!(rec.contains(ids[1]));
+    }
+
+    #[test]
+    fn empty_parts_are_ignored() {
+        let (env, _stmts, ids) = additive_env(&[1.0], 10.0, 5.0);
+        let adv = WfaPlus::new(
+            &env,
+            &[vec![], vec![ids[0]], vec![]],
+            &IndexSet::empty(),
+        );
+        assert_eq!(adv.parts().len(), 1);
+    }
+
+    #[test]
+    fn name_override() {
+        let (env, _stmts, ids) = additive_env(&[1.0], 10.0, 5.0);
+        let adv =
+            WfaPlus::new(&env, &[vec![ids[0]]], &IndexSet::empty()).with_name("WFIT-500");
+        assert_eq!(adv.name(), "WFIT-500");
+    }
+}

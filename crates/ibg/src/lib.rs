@@ -1,0 +1,33 @@
+//! # ibg — the Index Benefit Graph and index-interaction analysis
+//!
+//! This crate implements the analysis layer of Schnaitter, Polyzotis & Getoor,
+//! *"Index interactions in physical design tuning: modeling, analysis, and
+//! applications"* (PVLDB 2009), which the WFIT paper uses as its foundation
+//! for candidate selection and stable partitioning:
+//!
+//! * the **index benefit graph** ([`graph::IndexBenefitGraph`]) — a compact
+//!   memo of `cost(q, Y)` for the subsets of the candidate indices that the
+//!   optimizer can distinguish, built with a bounded number of what-if calls;
+//! * **benefit** computation ([`benefit`]) — `benefit_q({a}, X)` and the
+//!   per-statement maximum benefit `β_n` used by `idxStats`;
+//! * **degree of interaction** ([`doi`]) — `doi_q(a, b)`, the quantity the
+//!   stable partition is built from;
+//! * **stable partitions** ([`partition`]) — connected components of the
+//!   interaction relation, partition loss and feasibility under a `stateCnt`
+//!   bound;
+//! * **sliding statistics** ([`stats`]) — the LRU-K-inspired "current benefit"
+//!   `benefit*_N` and "current degree of interaction" `doi*_N` maintained by
+//!   WFIT's `chooseCands`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod benefit;
+pub mod doi;
+pub mod graph;
+pub mod partition;
+pub mod stats;
+
+pub use graph::IndexBenefitGraph;
+pub use partition::{connected_components, partition_loss, partition_state_count};
+pub use stats::{IndexStatistics, InteractionStats, SlidingStat};

@@ -1,0 +1,81 @@
+//! Error handling for the simulator.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced while parsing, binding or planning statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The SQL tokenizer met an unexpected character.
+    Lex {
+        /// Byte offset in the input.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The SQL parser met an unexpected token.
+    Parse {
+        /// Byte offset in the input.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A table referenced in a statement does not exist in the catalog.
+    UnknownTable(String),
+    /// A column referenced in a statement does not exist (or is ambiguous).
+    UnknownColumn(String),
+    /// An index definition referenced an unknown table or column.
+    InvalidIndex(String),
+    /// A statement uses a feature outside the supported SQL subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lex { position, message } => {
+                write!(f, "lexical error at byte {position}: {message}")
+            }
+            Error::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            Error::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            Error::UnknownColumn(name) => write!(f, "unknown column: {name}"),
+            Error::InvalidIndex(msg) => write!(f, "invalid index definition: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported SQL feature: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownTable("tpch.nation".into());
+        assert!(e.to_string().contains("tpch.nation"));
+        let e = Error::Parse {
+            position: 12,
+            message: "expected FROM".into(),
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("FROM"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::UnknownColumn("x".into()),
+            Error::UnknownColumn("x".into())
+        );
+        assert_ne!(
+            Error::UnknownColumn("x".into()),
+            Error::UnknownTable("x".into())
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! `extractIndices(q)` — candidate-index extraction from a statement.
+//!
+//! The paper assumes this primitive is provided by the DBMS ("this function
+//! may be already provided by the database system (e.g., as with IBM DB2), or
+//! it can be implemented externally [1, 5]").  Our implementation follows the
+//! standard external recipe: for every table referenced by the statement,
+//! generate indices on
+//!
+//! * each individual equality / range / join / order-by column ("singletons"),
+//! * the equality columns followed by one range column (multi-column
+//!   "merged" candidates),
+//! * the join column followed by the equality columns (to support
+//!   index-nested-loop joins with extra filtering).
+//!
+//! The number of candidates per statement is capped to keep the candidate
+//! pool manageable; WFIT's own `topIndices` step does the real pruning.
+
+use crate::catalog::Catalog;
+use crate::index::{IndexId, IndexRegistry};
+use crate::query::{PredicateKind, Statement, StatementKind};
+use crate::types::{ColumnId, TableId};
+
+/// Maximum number of candidate indices generated per table per statement.
+pub const MAX_CANDIDATES_PER_TABLE: usize = 8;
+
+/// Extract candidate indices for a statement, interning them in `registry`.
+///
+/// Returns the candidate ids (existing ids are returned for candidates that
+/// were already known).
+pub fn extract_indices(
+    stmt: &Statement,
+    _catalog: &Catalog,
+    registry: &mut IndexRegistry,
+) -> Vec<IndexId> {
+    let mut out = Vec::new();
+    for table in stmt.tables() {
+        let cols = relevant_columns(stmt, table);
+        if cols.eq_columns.is_empty()
+            && cols.range_columns.is_empty()
+            && cols.join_columns.is_empty()
+            && cols.order_columns.is_empty()
+        {
+            continue;
+        }
+        let mut per_table = Vec::new();
+
+        // Singletons.
+        for &c in cols
+            .eq_columns
+            .iter()
+            .chain(&cols.range_columns)
+            .chain(&cols.join_columns)
+            .chain(&cols.order_columns)
+        {
+            per_table.push(vec![c]);
+        }
+
+        // Equality prefix + one range column.
+        if !cols.eq_columns.is_empty() {
+            for &r in &cols.range_columns {
+                let mut key = cols.eq_columns.clone();
+                key.push(r);
+                per_table.push(key);
+            }
+            if cols.range_columns.is_empty() && cols.eq_columns.len() > 1 {
+                per_table.push(cols.eq_columns.clone());
+            }
+        }
+
+        // Join column + equality columns (for filtered index-nested-loop probes).
+        for &j in &cols.join_columns {
+            if !cols.eq_columns.is_empty() {
+                let mut key = vec![j];
+                key.extend(cols.eq_columns.iter().copied().filter(|c| *c != j));
+                per_table.push(key);
+            }
+        }
+
+        // Order-by prefix combined with the most selective equality column.
+        if !cols.order_columns.is_empty() && !cols.eq_columns.is_empty() {
+            let lead = cols.eq_columns[0];
+            let mut key = vec![lead];
+            key.extend(cols.order_columns.iter().copied().filter(|c| *c != lead));
+            per_table.push(key);
+        }
+
+        // Dedup while preserving order, cap, and intern.
+        let mut seen: Vec<Vec<ColumnId>> = Vec::new();
+        for key in per_table {
+            if key.is_empty() || seen.contains(&key) {
+                continue;
+            }
+            seen.push(key.clone());
+            if seen.len() > MAX_CANDIDATES_PER_TABLE {
+                break;
+            }
+            let id = registry.intern(table, key);
+            if !out.contains(&id) {
+                out.push(id);
+            }
+        }
+    }
+    out
+}
+
+struct RelevantColumns {
+    eq_columns: Vec<ColumnId>,
+    range_columns: Vec<ColumnId>,
+    join_columns: Vec<ColumnId>,
+    order_columns: Vec<ColumnId>,
+}
+
+fn relevant_columns(stmt: &Statement, table: TableId) -> RelevantColumns {
+    let mut eq_columns = Vec::new();
+    let mut range_columns = Vec::new();
+    let mut join_columns = Vec::new();
+    let mut order_columns = Vec::new();
+
+    for p in stmt.predicates().iter().filter(|p| p.table == table) {
+        match p.kind {
+            PredicateKind::Equality => push_unique(&mut eq_columns, p.column),
+            PredicateKind::Range | PredicateKind::Like => {
+                push_unique(&mut range_columns, p.column)
+            }
+            PredicateKind::NotEqual => {}
+        }
+    }
+    for j in stmt.joins() {
+        if let Some(c) = j.column_for(table) {
+            push_unique(&mut join_columns, c);
+        }
+    }
+    if let StatementKind::Select(sel) = &stmt.kind {
+        for &c in &sel.order_by {
+            push_unique(&mut order_columns, c);
+        }
+        for &c in &sel.group_by {
+            push_unique(&mut order_columns, c);
+        }
+    }
+    // Keep only columns belonging to this table in order/group lists.
+    RelevantColumns {
+        eq_columns,
+        range_columns,
+        join_columns,
+        order_columns,
+    }
+}
+
+fn push_unique(v: &mut Vec<ColumnId>, c: ColumnId) {
+    if !v.contains(&c) {
+        v.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogBuilder;
+    use crate::query::build;
+    use crate::types::DataType;
+
+    fn setup() -> (Catalog, IndexRegistry) {
+        let mut b = CatalogBuilder::new();
+        b.table("orders")
+            .rows(1_000_000.0)
+            .column("o_orderkey", DataType::Integer, 1_000_000.0)
+            .column("o_custkey", DataType::Integer, 100_000.0)
+            .column("o_date", DataType::Date, 2_400.0)
+            .finish();
+        b.table("lineitem")
+            .rows(6_000_000.0)
+            .column("l_orderkey", DataType::Integer, 1_000_000.0)
+            .column("l_price", DataType::Decimal, 900_000.0)
+            .finish();
+        (b.build(), IndexRegistry::new())
+    }
+
+    #[test]
+    fn extracts_singletons_and_composites() {
+        let (catalog, mut registry) = setup();
+        let orders = catalog.table_by_name("orders").unwrap();
+        let o_custkey = catalog.column_by_name("o_custkey", &[]).unwrap();
+        let o_date = catalog.column_by_name("o_date", &[]).unwrap();
+        let stmt = build::select()
+            .table(orders)
+            .predicate(orders, o_custkey, PredicateKind::Equality, 1e-5)
+            .predicate(orders, o_date, PredicateKind::Range, 0.05)
+            .build();
+        let cands = extract_indices(&stmt, &catalog, &mut registry);
+        assert!(cands.len() >= 3, "{cands:?}");
+        // Composite (o_custkey, o_date) must be among them.
+        assert!(registry.lookup(orders, &[o_custkey, o_date]).is_some());
+    }
+
+    #[test]
+    fn extracts_join_column_candidates_on_both_sides() {
+        let (catalog, mut registry) = setup();
+        let orders = catalog.table_by_name("orders").unwrap();
+        let lineitem = catalog.table_by_name("lineitem").unwrap();
+        let o_orderkey = catalog.column_by_name("o_orderkey", &[]).unwrap();
+        let l_orderkey = catalog.column_by_name("l_orderkey", &[]).unwrap();
+        let stmt = build::select()
+            .table(orders)
+            .table(lineitem)
+            .join(orders, o_orderkey, lineitem, l_orderkey)
+            .build();
+        let _ = extract_indices(&stmt, &catalog, &mut registry);
+        assert!(registry.lookup(orders, &[o_orderkey]).is_some());
+        assert!(registry.lookup(lineitem, &[l_orderkey]).is_some());
+    }
+
+    #[test]
+    fn repeated_extraction_is_idempotent() {
+        let (catalog, mut registry) = setup();
+        let orders = catalog.table_by_name("orders").unwrap();
+        let o_custkey = catalog.column_by_name("o_custkey", &[]).unwrap();
+        let stmt = build::select()
+            .table(orders)
+            .predicate(orders, o_custkey, PredicateKind::Equality, 1e-5)
+            .build();
+        let first = extract_indices(&stmt, &catalog, &mut registry);
+        let count = registry.len();
+        let second = extract_indices(&stmt, &catalog, &mut registry);
+        assert_eq!(first, second);
+        assert_eq!(registry.len(), count);
+    }
+
+    #[test]
+    fn update_statements_yield_candidates_for_row_location() {
+        let (catalog, mut registry) = setup();
+        let lineitem = catalog.table_by_name("lineitem").unwrap();
+        let l_price = catalog.column_by_name("l_price", &[]).unwrap();
+        let l_orderkey = catalog.column_by_name("l_orderkey", &[]).unwrap();
+        let stmt = build::update(
+            lineitem,
+            vec![l_orderkey],
+            vec![crate::query::Predicate {
+                table: lineitem,
+                column: l_price,
+                kind: PredicateKind::Range,
+                selectivity: 1e-4,
+            }],
+        );
+        let cands = extract_indices(&stmt, &catalog, &mut registry);
+        assert!(!cands.is_empty());
+        assert!(registry.lookup(lineitem, &[l_price]).is_some());
+    }
+
+    #[test]
+    fn statement_without_predicates_yields_nothing() {
+        let (catalog, mut registry) = setup();
+        let orders = catalog.table_by_name("orders").unwrap();
+        let stmt = build::select().table(orders).build();
+        let cands = extract_indices(&stmt, &catalog, &mut registry);
+        assert!(cands.is_empty());
+        assert!(registry.is_empty());
+    }
+
+    #[test]
+    fn candidate_count_is_capped() {
+        let (catalog, mut registry) = setup();
+        let orders = catalog.table_by_name("orders").unwrap();
+        let cols: Vec<ColumnId> = catalog.table(orders).columns.clone();
+        let mut builder = build::select().table(orders);
+        for c in &cols {
+            builder = builder.predicate(orders, *c, PredicateKind::Equality, 0.01);
+        }
+        for c in &cols {
+            builder = builder.predicate(orders, *c, PredicateKind::Range, 0.2);
+        }
+        let stmt = builder.build();
+        let cands = extract_indices(&stmt, &catalog, &mut registry);
+        assert!(cands.len() <= MAX_CANDIDATES_PER_TABLE + 1);
+    }
+}

@@ -1,0 +1,489 @@
+//! Secondary index definitions, configurations and transition costs.
+//!
+//! The paper models the physical design as a subset of a universe `I` of
+//! candidate indices.  Changing the materialized set from `X` to `Y` costs
+//! `δ(X, Y)`, which is the sum of per-index creation costs for `Y − X` and
+//! per-index drop costs for `X − Y`.  `δ` obeys the triangle inequality but is
+//! *not* symmetric (creation is much more expensive than dropping) — this
+//! asymmetry is precisely what makes the competitive analysis in the paper
+//! non-trivial.
+
+use crate::catalog::Catalog;
+use crate::types::{ColumnId, TableId, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a (candidate or materialized) index.
+///
+/// Ids are minted by the [`IndexRegistry`]; the same logical index (same table
+/// and key-column sequence) always maps to the same id, so ids can be used as
+/// stable keys in the tuning algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IndexId(pub u32);
+
+impl fmt::Display for IndexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+/// Definition of a secondary B-tree index: an ordered sequence of key columns
+/// over one table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Identifier assigned by the registry.
+    pub id: IndexId,
+    /// Table the index is defined on.
+    pub table: TableId,
+    /// Key columns, in index order (prefix matching applies).
+    pub key_columns: Vec<ColumnId>,
+}
+
+impl IndexDef {
+    /// Human-readable name of the index, derived from the catalog.
+    pub fn display_name(&self, catalog: &Catalog) -> String {
+        let table = &catalog.table(self.table).name;
+        let cols: Vec<&str> = self
+            .key_columns
+            .iter()
+            .map(|c| catalog.column(*c).name.as_str())
+            .collect();
+        format!("idx_{}({})", table, cols.join(","))
+    }
+
+    /// Width in bytes of one index entry (key columns + row pointer).
+    pub fn entry_width(&self, catalog: &Catalog) -> f64 {
+        catalog.columns_width(&self.key_columns) + 12.0
+    }
+
+    /// Number of leaf pages of the index.
+    pub fn pages(&self, catalog: &Catalog) -> f64 {
+        let rows = catalog.table(self.table).row_count;
+        ((rows * self.entry_width(catalog)) / PAGE_SIZE).max(1.0)
+    }
+
+    /// Estimated height of the B-tree (number of non-leaf levels).
+    pub fn height(&self, catalog: &Catalog) -> f64 {
+        let pages = self.pages(catalog);
+        (pages.log2() / 8.0).ceil().max(1.0)
+    }
+}
+
+/// A set of indices (an index *configuration*).
+///
+/// Stored as a sorted vector of ids; configurations encountered by the tuning
+/// algorithms are small (tens of indices), so a sorted vector beats a hash set
+/// both in speed and in memory, and gives deterministic iteration order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct IndexSet {
+    ids: Vec<IndexId>,
+}
+
+impl IndexSet {
+    /// The empty configuration.
+    pub fn empty() -> Self {
+        Self { ids: Vec::new() }
+    }
+
+    /// Configuration containing a single index.
+    pub fn single(id: IndexId) -> Self {
+        Self { ids: vec![id] }
+    }
+
+    /// Build a configuration from an arbitrary iterator (deduplicates).
+    pub fn from_iter<I: IntoIterator<Item = IndexId>>(iter: I) -> Self {
+        let mut ids: Vec<IndexId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// Number of indices in the configuration.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the configuration is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: IndexId) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Iterate over the indices in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = IndexId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Insert an index (no-op if already present).
+    pub fn insert(&mut self, id: IndexId) {
+        if let Err(pos) = self.ids.binary_search(&id) {
+            self.ids.insert(pos, id);
+        }
+    }
+
+    /// Remove an index (no-op if absent).
+    pub fn remove(&mut self, id: IndexId) {
+        if let Ok(pos) = self.ids.binary_search(&id) {
+            self.ids.remove(pos);
+        }
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &IndexSet) -> IndexSet {
+        let mut out = self.clone();
+        for id in other.iter() {
+            out.insert(id);
+        }
+        out
+    }
+
+    /// Set difference `self − other`.
+    pub fn difference(&self, other: &IndexSet) -> IndexSet {
+        IndexSet {
+            ids: self
+                .ids
+                .iter()
+                .copied()
+                .filter(|id| !other.contains(*id))
+                .collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &IndexSet) -> IndexSet {
+        IndexSet {
+            ids: self
+                .ids
+                .iter()
+                .copied()
+                .filter(|id| other.contains(*id))
+                .collect(),
+        }
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &IndexSet) -> bool {
+        self.ids.iter().all(|id| other.contains(*id))
+    }
+
+    /// The symmetric difference `self △ other`.
+    pub fn symmetric_difference(&self, other: &IndexSet) -> IndexSet {
+        self.difference(other).union(&other.difference(self))
+    }
+
+    /// Access the underlying sorted slice of ids.
+    pub fn as_slice(&self) -> &[IndexId] {
+        &self.ids
+    }
+}
+
+impl FromIterator<IndexId> for IndexSet {
+    fn from_iter<T: IntoIterator<Item = IndexId>>(iter: T) -> Self {
+        IndexSet::from_iter(iter)
+    }
+}
+
+impl fmt::Display for IndexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Interning registry of index definitions.
+///
+/// The registry guarantees that a given `(table, key columns)` pair is always
+/// mapped to the same [`IndexId`], which lets the tuning algorithms accumulate
+/// statistics about an index across statements.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IndexRegistry {
+    defs: Vec<IndexDef>,
+    by_key: HashMap<(TableId, Vec<ColumnId>), IndexId>,
+    by_table: HashMap<TableId, Vec<IndexId>>,
+}
+
+impl IndexRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern an index definition, returning its stable id.
+    pub fn intern(&mut self, table: TableId, key_columns: Vec<ColumnId>) -> IndexId {
+        if let Some(id) = self.by_key.get(&(table, key_columns.clone())) {
+            return *id;
+        }
+        let id = IndexId(self.defs.len() as u32);
+        self.by_key.insert((table, key_columns.clone()), id);
+        self.by_table.entry(table).or_default().push(id);
+        self.defs.push(IndexDef {
+            id,
+            table,
+            key_columns,
+        });
+        id
+    }
+
+    /// Look up an existing definition without interning.
+    pub fn lookup(&self, table: TableId, key_columns: &[ColumnId]) -> Option<IndexId> {
+        self.by_key.get(&(table, key_columns.to_vec())).copied()
+    }
+
+    /// Definition for an id.
+    pub fn def(&self, id: IndexId) -> &IndexDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// All indices registered on a table.
+    pub fn indexes_on(&self, table: TableId) -> &[IndexId] {
+        self.by_table
+            .get(&table)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total number of registered index definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterate over all definitions.
+    pub fn iter(&self) -> impl Iterator<Item = &IndexDef> {
+        self.defs.iter()
+    }
+}
+
+/// Cost model for index transitions (`δ` in the paper).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransitionCostModel {
+    /// I/O cost per heap page scanned while building an index.
+    pub build_scan_page_cost: f64,
+    /// CPU cost per row sorted while building an index.
+    pub build_sort_row_cost: f64,
+    /// I/O cost per index page written while building an index.
+    pub build_write_page_cost: f64,
+    /// Flat cost of dropping an index (catalog update; essentially free
+    /// compared to creation, which is what makes `δ` asymmetric).
+    pub drop_cost: f64,
+}
+
+impl Default for TransitionCostModel {
+    fn default() -> Self {
+        Self {
+            build_scan_page_cost: 1.0,
+            build_sort_row_cost: 0.02,
+            build_write_page_cost: 1.0,
+            drop_cost: 1.0,
+        }
+    }
+}
+
+impl TransitionCostModel {
+    /// Cost `δ⁺(a)` of creating index `a`.
+    pub fn create_cost(&self, catalog: &Catalog, def: &IndexDef) -> f64 {
+        let table = catalog.table(def.table);
+        let rows = table.row_count;
+        let scan = table.pages() * self.build_scan_page_cost;
+        let sort = rows * rows.max(2.0).log2() * self.build_sort_row_cost / 10.0;
+        let write = def.pages(catalog) * self.build_write_page_cost;
+        scan + sort + write
+    }
+
+    /// Cost `δ⁻(a)` of dropping index `a`.
+    pub fn drop_cost(&self, _catalog: &Catalog, _def: &IndexDef) -> f64 {
+        self.drop_cost
+    }
+
+    /// Transition cost `δ(X, Y)`: create everything in `Y − X`, drop
+    /// everything in `X − Y`.
+    pub fn transition_cost(
+        &self,
+        catalog: &Catalog,
+        registry: &IndexRegistry,
+        from: &IndexSet,
+        to: &IndexSet,
+    ) -> f64 {
+        let mut cost = 0.0;
+        for id in to.difference(from).iter() {
+            cost += self.create_cost(catalog, registry.def(id));
+        }
+        for id in from.difference(to).iter() {
+            cost += self.drop_cost(catalog, registry.def(id));
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogBuilder;
+    use crate::types::DataType;
+
+    fn setup() -> (Catalog, IndexRegistry) {
+        let mut b = CatalogBuilder::new();
+        b.table("t1")
+            .rows(1_000_000.0)
+            .column("a", DataType::Integer, 1_000_000.0)
+            .column("b", DataType::Integer, 1_000.0)
+            .column("c", DataType::Text, 500.0)
+            .finish();
+        b.table("t2")
+            .rows(10_000.0)
+            .column("x", DataType::Integer, 10_000.0)
+            .finish();
+        (b.build(), IndexRegistry::new())
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let (catalog, mut reg) = setup();
+        let t1 = catalog.table_by_name("t1").unwrap();
+        let a = catalog.column_by_name("a", &[]).unwrap();
+        let b = catalog.column_by_name("b", &[]).unwrap();
+        let i1 = reg.intern(t1, vec![a, b]);
+        let i2 = reg.intern(t1, vec![a, b]);
+        assert_eq!(i1, i2);
+        let i3 = reg.intern(t1, vec![b, a]);
+        assert_ne!(i1, i3, "column order is significant");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn indexes_on_table() {
+        let (catalog, mut reg) = setup();
+        let t1 = catalog.table_by_name("t1").unwrap();
+        let t2 = catalog.table_by_name("t2").unwrap();
+        let a = catalog.column_by_name("a", &[]).unwrap();
+        let x = catalog.column_by_name("x", &[]).unwrap();
+        let i1 = reg.intern(t1, vec![a]);
+        let i2 = reg.intern(t2, vec![x]);
+        assert_eq!(reg.indexes_on(t1), &[i1]);
+        assert_eq!(reg.indexes_on(t2), &[i2]);
+    }
+
+    #[test]
+    fn index_set_operations() {
+        let a = IndexId(1);
+        let b = IndexId(2);
+        let c = IndexId(3);
+        let s1 = IndexSet::from_iter([a, b]);
+        let s2 = IndexSet::from_iter([b, c]);
+        assert_eq!(s1.union(&s2).len(), 3);
+        assert_eq!(s1.intersection(&s2).as_slice(), &[b]);
+        assert_eq!(s1.difference(&s2).as_slice(), &[a]);
+        assert_eq!(s1.symmetric_difference(&s2).len(), 2);
+        assert!(IndexSet::single(a).is_subset_of(&s1));
+        assert!(!s1.is_subset_of(&s2));
+    }
+
+    #[test]
+    fn index_set_insert_remove_keeps_sorted() {
+        let mut s = IndexSet::empty();
+        s.insert(IndexId(5));
+        s.insert(IndexId(1));
+        s.insert(IndexId(3));
+        s.insert(IndexId(3));
+        assert_eq!(s.as_slice(), &[IndexId(1), IndexId(3), IndexId(5)]);
+        s.remove(IndexId(3));
+        assert_eq!(s.as_slice(), &[IndexId(1), IndexId(5)]);
+        s.remove(IndexId(42)); // no-op
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn index_set_display() {
+        let s = IndexSet::from_iter([IndexId(2), IndexId(0)]);
+        assert_eq!(s.to_string(), "{I0, I2}");
+        assert_eq!(IndexSet::empty().to_string(), "{}");
+    }
+
+    #[test]
+    fn creation_much_more_expensive_than_drop() {
+        let (catalog, mut reg) = setup();
+        let t1 = catalog.table_by_name("t1").unwrap();
+        let a = catalog.column_by_name("a", &[]).unwrap();
+        let id = reg.intern(t1, vec![a]);
+        let model = TransitionCostModel::default();
+        let create = model.create_cost(&catalog, reg.def(id));
+        let drop = model.drop_cost(&catalog, reg.def(id));
+        assert!(
+            create > 100.0 * drop,
+            "create {create} should dwarf drop {drop}"
+        );
+    }
+
+    #[test]
+    fn transition_cost_asymmetric_but_triangle() {
+        let (catalog, mut reg) = setup();
+        let t1 = catalog.table_by_name("t1").unwrap();
+        let t2 = catalog.table_by_name("t2").unwrap();
+        let a = catalog.column_by_name("a", &[]).unwrap();
+        let x = catalog.column_by_name("x", &[]).unwrap();
+        let i1 = reg.intern(t1, vec![a]);
+        let i2 = reg.intern(t2, vec![x]);
+        let model = TransitionCostModel::default();
+        let e = IndexSet::empty();
+        let s1 = IndexSet::single(i1);
+        let s12 = IndexSet::from_iter([i1, i2]);
+
+        let d_up = model.transition_cost(&catalog, &reg, &e, &s1);
+        let d_down = model.transition_cost(&catalog, &reg, &s1, &e);
+        assert!(d_up > d_down, "asymmetry: create > drop");
+
+        // Triangle inequality: δ(∅, s12) ≤ δ(∅, s1) + δ(s1, s12)
+        let direct = model.transition_cost(&catalog, &reg, &e, &s12);
+        let via = model.transition_cost(&catalog, &reg, &e, &s1)
+            + model.transition_cost(&catalog, &reg, &s1, &s12);
+        assert!(direct <= via + 1e-9);
+
+        // δ(X, X) = 0
+        assert_eq!(model.transition_cost(&catalog, &reg, &s1, &s1), 0.0);
+    }
+
+    #[test]
+    fn larger_tables_have_costlier_indexes() {
+        let (catalog, mut reg) = setup();
+        let t1 = catalog.table_by_name("t1").unwrap();
+        let t2 = catalog.table_by_name("t2").unwrap();
+        let a = catalog.column_by_name("a", &[]).unwrap();
+        let x = catalog.column_by_name("x", &[]).unwrap();
+        let big = reg.intern(t1, vec![a]);
+        let small = reg.intern(t2, vec![x]);
+        let model = TransitionCostModel::default();
+        assert!(
+            model.create_cost(&catalog, reg.def(big))
+                > model.create_cost(&catalog, reg.def(small))
+        );
+        assert!(reg.def(big).pages(&catalog) > reg.def(small).pages(&catalog));
+        assert!(reg.def(big).height(&catalog) >= 1.0);
+    }
+
+    #[test]
+    fn display_name_mentions_columns() {
+        let (catalog, mut reg) = setup();
+        let t1 = catalog.table_by_name("t1").unwrap();
+        let a = catalog.column_by_name("a", &[]).unwrap();
+        let b = catalog.column_by_name("b", &[]).unwrap();
+        let id = reg.intern(t1, vec![a, b]);
+        let name = reg.def(id).display_name(&catalog);
+        assert!(name.contains("a,b"), "{name}");
+        assert!(name.contains("t1"), "{name}");
+    }
+}

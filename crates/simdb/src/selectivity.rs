@@ -1,0 +1,221 @@
+//! Predicate selectivity estimation.
+//!
+//! The estimator uses the textbook System-R style formulas driven by the
+//! column statistics in the catalog: `1/distinct` for equalities, linear
+//! interpolation over `[min, max]` for ranges, and fixed default fractions
+//! when no information is available.  The absolute numbers do not need to be
+//! accurate — the index-tuning algorithms only need a cost model that reacts
+//! plausibly to predicates of different selectivity, which the benchmark
+//! workload deliberately mixes.
+
+use crate::catalog::ColumnMeta;
+use crate::sql::ast::CompareOp;
+use crate::types::Value;
+
+/// Default selectivity used for equality predicates on columns with unknown
+/// statistics.
+pub const DEFAULT_EQ_SELECTIVITY: f64 = 0.005;
+/// Default selectivity used for range predicates that cannot be interpolated.
+pub const DEFAULT_RANGE_SELECTIVITY: f64 = 0.33;
+/// Default selectivity for `LIKE` predicates without a literal prefix.
+pub const DEFAULT_LIKE_SELECTIVITY: f64 = 0.1;
+/// Minimum selectivity returned by any estimator (avoids zero-cardinality
+/// estimates that would make every plan free).
+pub const MIN_SELECTIVITY: f64 = 1e-7;
+
+fn clamp(s: f64) -> f64 {
+    if s.is_finite() {
+        s.clamp(MIN_SELECTIVITY, 1.0)
+    } else {
+        DEFAULT_RANGE_SELECTIVITY
+    }
+}
+
+/// Selectivity of `col = literal`.
+pub fn equality(column: &ColumnMeta) -> f64 {
+    clamp(1.0 / column.distinct_values)
+}
+
+/// Selectivity of `col IN (v1 .. vk)`.
+pub fn in_list(column: &ColumnMeta, list_len: usize) -> f64 {
+    clamp(list_len as f64 / column.distinct_values)
+}
+
+/// Selectivity of `col <> literal`.
+pub fn not_equal(column: &ColumnMeta) -> f64 {
+    clamp(1.0 - equality(column))
+}
+
+/// Selectivity of a one-sided comparison `col op literal`.
+pub fn comparison(column: &ColumnMeta, op: CompareOp, value: &Value) -> f64 {
+    let span = column.max_value - column.min_value;
+    let numeric = value.as_numeric();
+    match (op, numeric) {
+        (CompareOp::Eq, _) => equality(column),
+        (CompareOp::Ne, _) => not_equal(column),
+        (CompareOp::Lt | CompareOp::Le, Some(v)) if span > 0.0 => {
+            clamp((v - column.min_value) / span)
+        }
+        (CompareOp::Gt | CompareOp::Ge, Some(v)) if span > 0.0 => {
+            clamp((column.max_value - v) / span)
+        }
+        _ => DEFAULT_RANGE_SELECTIVITY,
+    }
+}
+
+/// Selectivity of `col BETWEEN low AND high`.
+pub fn between(column: &ColumnMeta, low: &Value, high: &Value) -> f64 {
+    let span = column.max_value - column.min_value;
+    match (low.as_numeric(), high.as_numeric()) {
+        (Some(lo), Some(hi)) if span > 0.0 && hi >= lo => {
+            // Clip the requested range to the column's domain before
+            // interpolating, so out-of-domain constants do not inflate the
+            // estimate.
+            let lo_c = lo.max(column.min_value);
+            let hi_c = hi.min(column.max_value);
+            if hi_c <= lo_c {
+                MIN_SELECTIVITY
+            } else {
+                clamp((hi_c - lo_c) / span)
+            }
+        }
+        _ => DEFAULT_RANGE_SELECTIVITY,
+    }
+}
+
+/// Selectivity of `col LIKE pattern`.
+pub fn like(column: &ColumnMeta, pattern: &str) -> f64 {
+    if let Some(prefix_len) = pattern.find(['%', '_']) {
+        if prefix_len == 0 {
+            DEFAULT_LIKE_SELECTIVITY
+        } else {
+            // A literal prefix of length k behaves roughly like an equality on
+            // the first k characters; fall off geometrically with the length.
+            clamp(0.25f64.powi(prefix_len.min(4) as i32).max(1.0 / column.distinct_values))
+        }
+    } else {
+        // No wildcard: effectively an equality.
+        equality(column)
+    }
+}
+
+/// Combined selectivity of a conjunction, assuming independence.
+pub fn conjunction(selectivities: impl IntoIterator<Item = f64>) -> f64 {
+    clamp(selectivities.into_iter().product())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{ColumnId, DataType, TableId};
+
+    fn col(distinct: f64, min: f64, max: f64) -> ColumnMeta {
+        ColumnMeta {
+            id: ColumnId(0),
+            table: TableId(0),
+            name: "c".into(),
+            data_type: DataType::Integer,
+            distinct_values: distinct,
+            min_value: min,
+            max_value: max,
+            width: 8.0,
+        }
+    }
+
+    #[test]
+    fn equality_uses_distinct_count() {
+        let c = col(1000.0, 0.0, 1000.0);
+        assert!((equality(&c) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_list_scales_with_length() {
+        let c = col(1000.0, 0.0, 1000.0);
+        assert!((in_list(&c, 5) - 0.005).abs() < 1e-12);
+        assert!(in_list(&c, 5000) <= 1.0);
+    }
+
+    #[test]
+    fn between_interpolates_over_domain() {
+        let c = col(100.0, 0.0, 100.0);
+        let s = between(&c, &Value::Int(10), &Value::Int(30));
+        assert!((s - 0.2).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn between_clips_to_domain() {
+        let c = col(100.0, 0.0, 100.0);
+        let s = between(&c, &Value::Int(-100), &Value::Int(200));
+        assert!((s - 1.0).abs() < 1e-9);
+        let s = between(&c, &Value::Int(500), &Value::Int(600));
+        assert!(s <= MIN_SELECTIVITY * 10.0);
+    }
+
+    #[test]
+    fn between_inverted_range_is_tiny() {
+        let c = col(100.0, 0.0, 100.0);
+        assert!(between(&c, &Value::Int(50), &Value::Int(10)) <= DEFAULT_RANGE_SELECTIVITY);
+    }
+
+    #[test]
+    fn comparison_directions() {
+        let c = col(100.0, 0.0, 100.0);
+        let lt = comparison(&c, CompareOp::Lt, &Value::Int(25));
+        let gt = comparison(&c, CompareOp::Gt, &Value::Int(25));
+        assert!((lt - 0.25).abs() < 1e-9);
+        assert!((gt - 0.75).abs() < 1e-9);
+        assert!((lt + gt - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ne_is_complement_of_eq() {
+        let c = col(100.0, 0.0, 100.0);
+        assert!((not_equal(&c) + equality(&c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn like_prefix_more_selective_than_bare_wildcard() {
+        let c = col(10_000.0, 0.0, 1.0);
+        assert!(like(&c, "abc%") < like(&c, "%abc"));
+        assert!((like(&c, "exact") - equality(&c)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjunction_multiplies_and_clamps() {
+        let s = conjunction([0.5, 0.1]);
+        assert!((s - 0.05).abs() < 1e-12);
+        assert!(conjunction([1e-9, 1e-9]) >= MIN_SELECTIVITY * 0.1);
+        assert_eq!(conjunction(std::iter::empty::<f64>()), 1.0);
+    }
+
+    #[test]
+    fn everything_is_within_bounds() {
+        let c = col(3.0, 0.0, 3.0);
+        for s in [
+            equality(&c),
+            not_equal(&c),
+            between(&c, &Value::Int(0), &Value::Int(3)),
+            comparison(&c, CompareOp::Le, &Value::Int(1)),
+            like(&c, "x%"),
+            in_list(&c, 2),
+        ] {
+            assert!(s >= MIN_SELECTIVITY && s <= 1.0, "{s}");
+        }
+    }
+
+    #[test]
+    fn string_ranges_interpolate_via_numeric_mapping() {
+        let c = ColumnMeta {
+            data_type: DataType::Date,
+            min_value: crate::types::string_to_numeric("1990-01-01"),
+            max_value: crate::types::string_to_numeric("2010-01-01"),
+            ..col(1000.0, 0.0, 1.0)
+        };
+        let s = between(
+            &c,
+            &Value::Str("1995-05-12".into()),
+            &Value::Str("2006-07-10".into()),
+        );
+        assert!(s > 0.1 && s < 0.9, "{s}");
+    }
+}

@@ -1,0 +1,170 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::types::Value;
+
+/// A parsed (but not yet bound) SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstStatement {
+    /// `SELECT ...`
+    Select(SelectAst),
+    /// `UPDATE ... SET ... WHERE ...`
+    Update(UpdateAst),
+    /// `INSERT INTO ... VALUES ...`
+    Insert(InsertAst),
+    /// `DELETE FROM ... WHERE ...`
+    Delete(DeleteAst),
+}
+
+/// An item in the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `count(*)`
+    CountStar,
+    /// A bare column reference.
+    Column(String),
+    /// `agg(column)` for `sum`, `avg`, `min`, `max`, `count`.
+    Aggregate {
+        /// Aggregate function name (lower-cased).
+        func: String,
+        /// Argument column.
+        column: String,
+    },
+}
+
+/// A table reference in the `FROM` clause, with optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Possibly schema-qualified table name, e.g. `tpch.lineitem`.
+    pub name: String,
+    /// Optional alias, e.g. `table1`.
+    pub alias: Option<String>,
+}
+
+/// A single conjunct of the `WHERE` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Condition {
+    /// `column op literal`
+    Compare {
+        /// Column reference (possibly alias-qualified).
+        column: String,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Literal operand.
+        value: Value,
+    },
+    /// `column BETWEEN low AND high`
+    Between {
+        /// Column reference.
+        column: String,
+        /// Lower bound literal.
+        low: Value,
+        /// Upper bound literal.
+        high: Value,
+    },
+    /// `column LIKE 'pattern'`
+    Like {
+        /// Column reference.
+        column: String,
+        /// Pattern literal.
+        pattern: String,
+    },
+    /// `column IN (v1, v2, ...)`
+    InList {
+        /// Column reference.
+        column: String,
+        /// Literal list.
+        values: Vec<Value>,
+    },
+    /// `left_column = right_column` (an equi-join predicate).
+    ColumnEq {
+        /// Left column reference.
+        left: String,
+        /// Right column reference.
+        right: String,
+    },
+}
+
+/// Comparison operators for [`Condition::Compare`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectAst {
+    /// Items in the select list.
+    pub projection: Vec<SelectItem>,
+    /// Tables in the `FROM` clause.
+    pub tables: Vec<TableRef>,
+    /// Conjuncts of the `WHERE` clause.
+    pub conditions: Vec<Condition>,
+    /// Columns in the `GROUP BY` clause.
+    pub group_by: Vec<String>,
+    /// Columns in the `ORDER BY` clause.
+    pub order_by: Vec<String>,
+}
+
+/// A parsed `UPDATE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateAst {
+    /// Target table.
+    pub table: TableRef,
+    /// Columns assigned in the `SET` clause (the right-hand side expressions
+    /// are not evaluated by the simulator; only the assigned column matters
+    /// for index-maintenance costing).
+    pub set_columns: Vec<String>,
+    /// Conjuncts of the `WHERE` clause.
+    pub conditions: Vec<Condition>,
+}
+
+/// A parsed `INSERT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertAst {
+    /// Target table.
+    pub table: TableRef,
+    /// Number of rows in the `VALUES` clause.
+    pub row_count: usize,
+}
+
+/// A parsed `DELETE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteAst {
+    /// Target table.
+    pub table: TableRef,
+    /// Conjuncts of the `WHERE` clause.
+    pub conditions: Vec<Condition>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_nodes_are_cloneable_and_comparable() {
+        let c = Condition::Compare {
+            column: "a".into(),
+            op: CompareOp::Eq,
+            value: Value::Int(1),
+        };
+        assert_eq!(c.clone(), c);
+        let t = TableRef {
+            name: "tpch.lineitem".into(),
+            alias: Some("l".into()),
+        };
+        assert_eq!(t.clone(), t);
+    }
+}

@@ -1,0 +1,448 @@
+//! Binder: resolve a parsed [`AstStatement`] against the catalog and attach
+//! selectivities, producing a bound [`Statement`].
+
+use crate::catalog::Catalog;
+use crate::error::{Error, Result};
+use crate::query::{
+    DeleteStmt, InsertStmt, JoinPredicate, Predicate, PredicateKind, SelectStmt, Statement,
+    StatementKind, UpdateStmt,
+};
+use crate::selectivity;
+use crate::sql::ast::*;
+use crate::types::{ColumnId, TableId};
+use std::collections::HashMap;
+
+/// Resolves names in an AST against a [`Catalog`].
+pub struct Binder<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Binder<'a> {
+    /// Create a binder over the given catalog.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Self { catalog }
+    }
+
+    /// Bind a parsed statement.
+    pub fn bind(&self, ast: &AstStatement) -> Result<Statement> {
+        let kind = match ast {
+            AstStatement::Select(s) => StatementKind::Select(self.bind_select(s)?),
+            AstStatement::Update(u) => StatementKind::Update(self.bind_update(u)?),
+            AstStatement::Insert(i) => StatementKind::Insert(self.bind_insert(i)?),
+            AstStatement::Delete(d) => StatementKind::Delete(self.bind_delete(d)?),
+        };
+        Ok(Statement::new(kind))
+    }
+
+    fn bind_select(&self, ast: &SelectAst) -> Result<SelectStmt> {
+        let scope = self.bind_tables(&ast.tables)?;
+        let table_ids: Vec<TableId> = scope.tables.clone();
+
+        let mut stmt = SelectStmt {
+            tables: table_ids,
+            predicates: Vec::new(),
+            joins: Vec::new(),
+            referenced_columns: Vec::new(),
+            order_by: Vec::new(),
+            group_by: Vec::new(),
+        };
+
+        for item in &ast.projection {
+            match item {
+                SelectItem::Star => {
+                    // `*` references every column of every table.  For covering
+                    // purposes we record all of them.
+                    for t in &stmt.tables {
+                        for c in &self.catalog.table(*t).columns {
+                            push_unique(&mut stmt.referenced_columns, *c);
+                        }
+                    }
+                }
+                SelectItem::CountStar => {}
+                SelectItem::Column(name) | SelectItem::Aggregate { column: name, .. } => {
+                    let col = scope.resolve_column(self.catalog, name)?;
+                    push_unique(&mut stmt.referenced_columns, col);
+                }
+            }
+        }
+
+        for cond in &ast.conditions {
+            self.bind_condition(&scope, cond, &mut stmt.predicates, &mut stmt.joins)?;
+        }
+        for p in &stmt.predicates {
+            push_unique(&mut stmt.referenced_columns, p.column);
+        }
+        for j in &stmt.joins {
+            push_unique(&mut stmt.referenced_columns, j.left_column);
+            push_unique(&mut stmt.referenced_columns, j.right_column);
+        }
+
+        for name in &ast.group_by {
+            let col = scope.resolve_column(self.catalog, name)?;
+            stmt.group_by.push(col);
+            push_unique(&mut stmt.referenced_columns, col);
+        }
+        for name in &ast.order_by {
+            let col = scope.resolve_column(self.catalog, name)?;
+            stmt.order_by.push(col);
+            push_unique(&mut stmt.referenced_columns, col);
+        }
+        Ok(stmt)
+    }
+
+    fn bind_update(&self, ast: &UpdateAst) -> Result<UpdateStmt> {
+        let table = self.catalog.table_by_name(&ast.table.name)?;
+        let scope = Scope::single(table, ast.table.alias.clone(), &ast.table.name);
+        let mut set_columns = Vec::new();
+        for name in &ast.set_columns {
+            set_columns.push(scope.resolve_column(self.catalog, name)?);
+        }
+        let mut predicates = Vec::new();
+        let mut joins = Vec::new();
+        for cond in &ast.conditions {
+            self.bind_condition(&scope, cond, &mut predicates, &mut joins)?;
+        }
+        if !joins.is_empty() {
+            return Err(Error::Unsupported(
+                "join predicates are not allowed in UPDATE".into(),
+            ));
+        }
+        let referenced_columns = predicates.iter().map(|p| p.column).collect();
+        Ok(UpdateStmt {
+            table,
+            set_columns,
+            predicates,
+            referenced_columns,
+        })
+    }
+
+    fn bind_insert(&self, ast: &InsertAst) -> Result<InsertStmt> {
+        let table = self.catalog.table_by_name(&ast.table.name)?;
+        Ok(InsertStmt {
+            table,
+            row_count: ast.row_count.max(1) as f64,
+        })
+    }
+
+    fn bind_delete(&self, ast: &DeleteAst) -> Result<DeleteStmt> {
+        let table = self.catalog.table_by_name(&ast.table.name)?;
+        let scope = Scope::single(table, ast.table.alias.clone(), &ast.table.name);
+        let mut predicates = Vec::new();
+        let mut joins = Vec::new();
+        for cond in &ast.conditions {
+            self.bind_condition(&scope, cond, &mut predicates, &mut joins)?;
+        }
+        if !joins.is_empty() {
+            return Err(Error::Unsupported(
+                "join predicates are not allowed in DELETE".into(),
+            ));
+        }
+        let referenced_columns = predicates.iter().map(|p| p.column).collect();
+        Ok(DeleteStmt {
+            table,
+            predicates,
+            referenced_columns,
+        })
+    }
+
+    fn bind_tables(&self, refs: &[TableRef]) -> Result<Scope> {
+        let mut scope = Scope::default();
+        for r in refs {
+            let id = self.catalog.table_by_name(&r.name)?;
+            scope.tables.push(id);
+            if let Some(alias) = &r.alias {
+                scope.aliases.insert(alias.to_ascii_lowercase(), id);
+            }
+            // The bare (schema-less) table name also works as an alias.
+            if let Some(short) = r.name.rsplit('.').next() {
+                scope
+                    .aliases
+                    .entry(short.to_ascii_lowercase())
+                    .or_insert(id);
+            }
+        }
+        Ok(scope)
+    }
+
+    fn bind_condition(
+        &self,
+        scope: &Scope,
+        cond: &Condition,
+        predicates: &mut Vec<Predicate>,
+        joins: &mut Vec<JoinPredicate>,
+    ) -> Result<()> {
+        match cond {
+            Condition::Compare { column, op, value } => {
+                let col = scope.resolve_column(self.catalog, column)?;
+                let meta = self.catalog.column(col);
+                let (kind, sel) = match op {
+                    CompareOp::Eq => (PredicateKind::Equality, selectivity::equality(meta)),
+                    CompareOp::Ne => (PredicateKind::NotEqual, selectivity::not_equal(meta)),
+                    _ => (
+                        PredicateKind::Range,
+                        selectivity::comparison(meta, *op, value),
+                    ),
+                };
+                predicates.push(Predicate {
+                    table: meta.table,
+                    column: col,
+                    kind,
+                    selectivity: sel,
+                });
+            }
+            Condition::Between { column, low, high } => {
+                let col = scope.resolve_column(self.catalog, column)?;
+                let meta = self.catalog.column(col);
+                predicates.push(Predicate {
+                    table: meta.table,
+                    column: col,
+                    kind: PredicateKind::Range,
+                    selectivity: selectivity::between(meta, low, high),
+                });
+            }
+            Condition::Like { column, pattern } => {
+                let col = scope.resolve_column(self.catalog, column)?;
+                let meta = self.catalog.column(col);
+                predicates.push(Predicate {
+                    table: meta.table,
+                    column: col,
+                    kind: PredicateKind::Like,
+                    selectivity: selectivity::like(meta, pattern),
+                });
+            }
+            Condition::InList { column, values } => {
+                let col = scope.resolve_column(self.catalog, column)?;
+                let meta = self.catalog.column(col);
+                predicates.push(Predicate {
+                    table: meta.table,
+                    column: col,
+                    kind: PredicateKind::Equality,
+                    selectivity: selectivity::in_list(meta, values.len()),
+                });
+            }
+            Condition::ColumnEq { left, right } => {
+                let lcol = scope.resolve_column(self.catalog, left)?;
+                let rcol = scope.resolve_column(self.catalog, right)?;
+                let lmeta = self.catalog.column(lcol);
+                let rmeta = self.catalog.column(rcol);
+                if lmeta.table == rmeta.table {
+                    // Same-table column equality: treat as a restriction with
+                    // a default selectivity.
+                    predicates.push(Predicate {
+                        table: lmeta.table,
+                        column: lcol,
+                        kind: PredicateKind::Range,
+                        selectivity: selectivity::DEFAULT_RANGE_SELECTIVITY,
+                    });
+                } else {
+                    joins.push(JoinPredicate {
+                        left_table: lmeta.table,
+                        left_column: lcol,
+                        right_table: rmeta.table,
+                        right_column: rcol,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Default)]
+struct Scope {
+    tables: Vec<TableId>,
+    aliases: HashMap<String, TableId>,
+}
+
+impl Scope {
+    fn single(table: TableId, alias: Option<String>, name: &str) -> Self {
+        let mut aliases = HashMap::new();
+        if let Some(a) = alias {
+            aliases.insert(a.to_ascii_lowercase(), table);
+        }
+        if let Some(short) = name.rsplit('.').next() {
+            aliases.insert(short.to_ascii_lowercase(), table);
+        }
+        Self {
+            tables: vec![table],
+            aliases,
+        }
+    }
+
+    /// Resolve a possibly alias-qualified column name.
+    fn resolve_column(&self, catalog: &Catalog, name: &str) -> Result<ColumnId> {
+        if let Some((qualifier, column)) = name.split_once('.') {
+            if let Some(table) = self.aliases.get(&qualifier.to_ascii_lowercase()) {
+                return catalog.column_by_name(column, &[*table]);
+            }
+            // Not an alias: maybe `schema.table.column` or `table.column`.
+            return catalog.column_by_name(name, &self.tables);
+        }
+        catalog.column_by_name(name, &self.tables)
+    }
+}
+
+fn push_unique(v: &mut Vec<ColumnId>, c: ColumnId) {
+    if !v.contains(&c) {
+        v.push(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::CatalogBuilder;
+    use crate::sql::parser::parse;
+    use crate::types::DataType;
+
+    fn catalog() -> Catalog {
+        let mut b = CatalogBuilder::new();
+        b.table("tpce.security")
+            .rows(500_000.0)
+            .column("s_symb", DataType::Integer, 500_000.0)
+            .column("s_co_id", DataType::Integer, 100_000.0)
+            .column_with_range("s_pe", DataType::Decimal, 50_000.0, 0.0, 200.0)
+            .column_with_range(
+                "s_exch_date",
+                DataType::Date,
+                100_000.0,
+                crate::types::string_to_numeric("1990-01-01"),
+                crate::types::string_to_numeric("2010-01-01"),
+            )
+            .finish();
+        b.table("tpce.company")
+            .rows(100_000.0)
+            .column("co_id", DataType::Integer, 100_000.0)
+            .column_with_range(
+                "co_open_date",
+                DataType::Date,
+                50_000.0,
+                crate::types::string_to_numeric("1800-01-01"),
+                crate::types::string_to_numeric("2000-01-01"),
+            )
+            .finish();
+        b.table("tpce.daily_market")
+            .rows(4_000_000.0)
+            .column("dm_s_symb", DataType::Integer, 500_000.0)
+            .column_with_range("dm_close", DataType::Decimal, 100_000.0, 0.0, 1000.0)
+            .finish();
+        b.table("tpch.lineitem")
+            .rows(6_000_000.0)
+            .column("l_orderkey", DataType::Integer, 1_500_000.0)
+            .column_with_range("l_extendedprice", DataType::Decimal, 900_000.0, 900.0, 105_000.0)
+            .column("l_tax", DataType::Decimal, 9.0)
+            .finish();
+        b.build()
+    }
+
+    fn bind(sql: &str) -> Statement {
+        let c = catalog();
+        let ast = parse(sql).unwrap();
+        Binder::new(&c).bind(&ast).unwrap()
+    }
+
+    #[test]
+    fn binds_paper_select() {
+        let stmt = bind(
+            "SELECT count(*) \
+             FROM tpce.security table1, tpce.company table2, tpce.daily_market table0 \
+             WHERE table1.s_pe BETWEEN 63.278 AND 86.091 \
+             AND table1.s_exch_date BETWEEN '1995-05-12' AND '2006-07-10' \
+             AND table2.co_open_date BETWEEN '1812-08-05' AND '1812-12-12' \
+             AND table1.s_symb = table0.dm_s_symb \
+             AND table2.co_id = table1.s_co_id",
+        );
+        let StatementKind::Select(sel) = &stmt.kind else {
+            panic!()
+        };
+        assert_eq!(sel.tables.len(), 3);
+        assert_eq!(sel.predicates.len(), 3);
+        assert_eq!(sel.joins.len(), 2);
+        for p in &sel.predicates {
+            assert!(p.selectivity > 0.0 && p.selectivity <= 1.0);
+        }
+    }
+
+    #[test]
+    fn binds_paper_update() {
+        let stmt = bind(
+            "UPDATE tpch.lineitem \
+             SET l_tax = l_tax + RANDOM_SIGN()*0.000001 \
+             WHERE l_extendedprice BETWEEN 65522.378 AND 66256.943",
+        );
+        let StatementKind::Update(upd) = &stmt.kind else {
+            panic!()
+        };
+        assert_eq!(upd.set_columns.len(), 1);
+        assert_eq!(upd.predicates.len(), 1);
+        assert!(upd.predicates[0].selectivity < 0.05);
+        assert!(stmt.is_update());
+    }
+
+    #[test]
+    fn alias_resolution_prefers_alias_over_table() {
+        let stmt = bind("SELECT s_pe FROM tpce.security sec WHERE sec.s_pe > 100");
+        let StatementKind::Select(sel) = &stmt.kind else {
+            panic!()
+        };
+        assert_eq!(sel.predicates.len(), 1);
+    }
+
+    #[test]
+    fn unknown_column_fails() {
+        let c = catalog();
+        let ast = parse("SELECT nope FROM tpce.security").unwrap();
+        assert!(Binder::new(&c).bind(&ast).is_err());
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let c = catalog();
+        let ast = parse("SELECT * FROM missing_table").unwrap();
+        assert!(matches!(
+            Binder::new(&c).bind(&ast),
+            Err(Error::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn star_projection_references_all_columns() {
+        let stmt = bind("SELECT * FROM tpce.company WHERE co_id = 7");
+        let StatementKind::Select(sel) = &stmt.kind else {
+            panic!()
+        };
+        assert_eq!(sel.referenced_columns.len(), 2);
+    }
+
+    #[test]
+    fn order_and_group_by_are_bound() {
+        let stmt =
+            bind("SELECT s_co_id FROM tpce.security WHERE s_pe > 10 GROUP BY s_co_id ORDER BY s_co_id");
+        let StatementKind::Select(sel) = &stmt.kind else {
+            panic!()
+        };
+        assert_eq!(sel.group_by.len(), 1);
+        assert_eq!(sel.order_by.len(), 1);
+    }
+
+    #[test]
+    fn delete_and_insert_bind() {
+        let del = bind("DELETE FROM tpce.company WHERE co_id = 9");
+        assert!(del.is_update());
+        let ins = bind("INSERT INTO tpce.company (co_id) VALUES (1), (2)");
+        let StatementKind::Insert(i) = &ins.kind else {
+            panic!()
+        };
+        assert_eq!(i.row_count, 2.0);
+    }
+
+    #[test]
+    fn same_table_column_equality_is_a_restriction() {
+        let stmt = bind("SELECT count(*) FROM tpce.security WHERE s_symb = s_co_id");
+        let StatementKind::Select(sel) = &stmt.kind else {
+            panic!()
+        };
+        assert!(sel.joins.is_empty());
+        assert_eq!(sel.predicates.len(), 1);
+    }
+}

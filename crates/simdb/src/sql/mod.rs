@@ -1,0 +1,34 @@
+//! SQL subset front-end: tokenizer, AST, recursive-descent parser and binder.
+//!
+//! The supported subset covers the statements used by the online index-tuning
+//! benchmark (Schnaitter & Polyzotis, SMDB 2009), i.e. multi-table `SELECT`
+//! statements with conjunctive predicates of mixed selectivity, plus
+//! single-table `UPDATE`, `DELETE` and `INSERT` statements:
+//!
+//! ```sql
+//! SELECT count(*)
+//! FROM tpce.security table1, tpce.company table2, tpce.daily_market table0
+//! WHERE table1.s_pe BETWEEN 63.278 AND 86.091
+//!   AND table1.s_symb = table0.dm_s_symb
+//!   AND table2.co_id = table1.s_co_id
+//! ```
+//!
+//! ```sql
+//! UPDATE tpch.lineitem
+//! SET l_tax = l_tax + RANDOM_SIGN() * 0.000001
+//! WHERE l_extendedprice BETWEEN 65522.378 AND 66256.943
+//! ```
+//!
+//! Parsing produces an [`ast::AstStatement`]; [`bind::Binder`] resolves names
+//! against the catalog and attaches selectivities, producing the bound
+//! [`crate::query::Statement`] consumed by the optimizer.
+
+pub mod ast;
+pub mod bind;
+pub mod parser;
+pub mod token;
+
+pub use ast::AstStatement;
+pub use bind::Binder;
+pub use parser::parse;
+pub use token::{tokenize, Token, TokenKind};

@@ -1,0 +1,582 @@
+//! Recursive-descent parser for the supported SQL subset.
+
+use crate::error::{Error, Result};
+use crate::sql::ast::*;
+use crate::sql::token::{tokenize, Token, TokenKind};
+use crate::types::Value;
+
+/// Parse a SQL string into an [`AstStatement`].
+pub fn parse(sql: &str) -> Result<AstStatement> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let stmt = parser.statement()?;
+    parser.skip_semicolons();
+    if !parser.at_end() {
+        return Err(parser.error("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.position)
+            .unwrap_or(0)
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error::Parse {
+            position: self.position(),
+            message: message.to_string(),
+        }
+    }
+
+    fn advance(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_semicolons(&mut self) {
+        while matches!(self.peek(), Some(TokenKind::Semicolon)) {
+            self.pos += 1;
+        }
+    }
+
+    /// Return `true` and consume if the next token is the given keyword.
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if let Some(TokenKind::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected keyword {kw}")))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<()> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {what}")))
+        }
+    }
+
+    fn identifier(&mut self, what: &str) -> Result<String> {
+        match self.advance() {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error(&format!("expected {what}")))
+            }
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.advance() {
+            Some(TokenKind::Number(n)) => Ok(number_value(n)),
+            Some(TokenKind::String(s)) => Ok(Value::Str(s)),
+            Some(TokenKind::Minus) => match self.advance() {
+                Some(TokenKind::Number(n)) => Ok(number_value(-n)),
+                _ => Err(self.error("expected number after unary minus")),
+            },
+            Some(TokenKind::Ident(s)) if s.eq_ignore_ascii_case("null") => Ok(Value::Null),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error("expected literal value"))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> Result<AstStatement> {
+        if self.peek_keyword("select") {
+            self.select().map(AstStatement::Select)
+        } else if self.peek_keyword("update") {
+            self.update().map(AstStatement::Update)
+        } else if self.peek_keyword("insert") {
+            self.insert().map(AstStatement::Insert)
+        } else if self.peek_keyword("delete") {
+            self.delete().map(AstStatement::Delete)
+        } else {
+            Err(self.error("expected SELECT, UPDATE, INSERT or DELETE"))
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectAst> {
+        self.expect_keyword("select")?;
+        let projection = self.select_list()?;
+        self.expect_keyword("from")?;
+        let tables = self.table_list()?;
+        let conditions = if self.accept_keyword("where") {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
+        let mut group_by = Vec::new();
+        if self.accept_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by = self.column_list()?;
+        }
+        let mut order_by = Vec::new();
+        if self.accept_keyword("order") {
+            self.expect_keyword("by")?;
+            order_by = self.column_list_with_direction()?;
+        }
+        Ok(SelectAst {
+            projection,
+            tables,
+            conditions,
+            group_by,
+            order_by,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            let item = match self.peek() {
+                Some(TokenKind::Star) => {
+                    self.pos += 1;
+                    SelectItem::Star
+                }
+                Some(TokenKind::Ident(s)) => {
+                    let name = s.clone();
+                    let lower = name.to_ascii_lowercase();
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(TokenKind::LParen))
+                        && ["count", "sum", "avg", "min", "max"].contains(&lower.as_str())
+                    {
+                        self.pos += 1; // consume '('
+                        let item = if matches!(self.peek(), Some(TokenKind::Star)) {
+                            self.pos += 1;
+                            SelectItem::CountStar
+                        } else {
+                            let col = self.identifier("aggregate argument column")?;
+                            SelectItem::Aggregate {
+                                func: lower,
+                                column: col,
+                            }
+                        };
+                        self.expect(&TokenKind::RParen, "closing ')' of aggregate")?;
+                        item
+                    } else {
+                        SelectItem::Column(name)
+                    }
+                }
+                _ => return Err(self.error("expected select list item")),
+            };
+            items.push(item);
+            if !matches!(self.peek(), Some(TokenKind::Comma)) {
+                break;
+            }
+            self.pos += 1;
+        }
+        Ok(items)
+    }
+
+    fn table_list(&mut self) -> Result<Vec<TableRef>> {
+        let mut tables = Vec::new();
+        loop {
+            let name = self.identifier("table name")?;
+            // Optional alias: another identifier that is not a clause keyword.
+            let alias = match self.peek() {
+                Some(TokenKind::Ident(s))
+                    if !is_clause_keyword(s) =>
+                {
+                    let a = s.clone();
+                    self.pos += 1;
+                    Some(a)
+                }
+                _ => None,
+            };
+            tables.push(TableRef { name, alias });
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(tables)
+    }
+
+    fn column_list(&mut self) -> Result<Vec<String>> {
+        let mut cols = vec![self.identifier("column name")?];
+        while matches!(self.peek(), Some(TokenKind::Comma)) {
+            self.pos += 1;
+            cols.push(self.identifier("column name")?);
+        }
+        Ok(cols)
+    }
+
+    fn column_list_with_direction(&mut self) -> Result<Vec<String>> {
+        let mut cols = Vec::new();
+        loop {
+            cols.push(self.identifier("column name")?);
+            // optional ASC/DESC
+            if self.accept_keyword("asc") || self.accept_keyword("desc") {}
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(cols)
+    }
+
+    fn conditions(&mut self) -> Result<Vec<Condition>> {
+        let mut conds = vec![self.condition()?];
+        while self.accept_keyword("and") {
+            conds.push(self.condition()?);
+        }
+        Ok(conds)
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let column = self.identifier("column in predicate")?;
+        if self.accept_keyword("between") {
+            let low = self.literal()?;
+            self.expect_keyword("and")?;
+            let high = self.literal()?;
+            return Ok(Condition::Between { column, low, high });
+        }
+        if self.accept_keyword("like") {
+            let pattern = match self.literal()? {
+                Value::Str(s) => s,
+                other => return Err(self.error(&format!("LIKE pattern must be a string, got {other}"))),
+            };
+            return Ok(Condition::Like { column, pattern });
+        }
+        if self.accept_keyword("in") {
+            self.expect(&TokenKind::LParen, "'(' after IN")?;
+            let mut values = vec![self.literal()?];
+            while matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+                values.push(self.literal()?);
+            }
+            self.expect(&TokenKind::RParen, "')' closing IN list")?;
+            return Ok(Condition::InList { column, values });
+        }
+        let op = match self.advance() {
+            Some(TokenKind::Eq) => CompareOp::Eq,
+            Some(TokenKind::Ne) => CompareOp::Ne,
+            Some(TokenKind::Lt) => CompareOp::Lt,
+            Some(TokenKind::Le) => CompareOp::Le,
+            Some(TokenKind::Gt) => CompareOp::Gt,
+            Some(TokenKind::Ge) => CompareOp::Ge,
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error("expected comparison operator"));
+            }
+        };
+        // The right-hand side is either a literal or another column (join).
+        match self.peek() {
+            Some(TokenKind::Ident(s)) if !s.eq_ignore_ascii_case("null") => {
+                let right = s.clone();
+                self.pos += 1;
+                if op == CompareOp::Eq {
+                    Ok(Condition::ColumnEq {
+                        left: column,
+                        right,
+                    })
+                } else {
+                    // Non-equi column comparison: treat as an opaque comparison
+                    // with unknown selectivity; the binder handles it as a
+                    // range-style predicate on the left column.
+                    Ok(Condition::Compare {
+                        column,
+                        op,
+                        value: Value::Null,
+                    })
+                }
+            }
+            _ => {
+                let value = self.literal()?;
+                Ok(Condition::Compare { column, op, value })
+            }
+        }
+    }
+
+    fn update(&mut self) -> Result<UpdateAst> {
+        self.expect_keyword("update")?;
+        let name = self.identifier("table name")?;
+        self.expect_keyword("set")?;
+        let mut set_columns = Vec::new();
+        loop {
+            let col = self.identifier("column in SET clause")?;
+            self.expect(&TokenKind::Eq, "'=' in SET clause")?;
+            self.skip_expression()?;
+            set_columns.push(col);
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let conditions = if self.accept_keyword("where") {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
+        Ok(UpdateAst {
+            table: TableRef { name, alias: None },
+            set_columns,
+            conditions,
+        })
+    }
+
+    /// Skip an arbitrary arithmetic expression on the right-hand side of a
+    /// `SET` assignment (e.g. `l_tax + RANDOM_SIGN()*0.000001`).  The
+    /// expression is not evaluated — only the assigned column matters to the
+    /// cost model.
+    fn skip_expression(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        let mut consumed = 0usize;
+        loop {
+            match self.peek() {
+                None => break,
+                Some(TokenKind::Comma) | Some(TokenKind::Semicolon) if depth == 0 => break,
+                Some(TokenKind::Ident(s)) if depth == 0 && is_clause_keyword(s) => break,
+                Some(TokenKind::LParen) => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                Some(TokenKind::RParen) => {
+                    depth = depth.saturating_sub(1);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    self.pos += 1;
+                }
+            }
+            consumed += 1;
+        }
+        if consumed == 0 {
+            return Err(self.error("expected expression after '='"));
+        }
+        Ok(())
+    }
+
+    fn insert(&mut self) -> Result<InsertAst> {
+        self.expect_keyword("insert")?;
+        self.expect_keyword("into")?;
+        let name = self.identifier("table name")?;
+        // Optional column list.
+        if matches!(self.peek(), Some(TokenKind::LParen)) {
+            let mut depth = 0usize;
+            loop {
+                match self.advance() {
+                    Some(TokenKind::LParen) => depth += 1,
+                    Some(TokenKind::RParen) => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    None => return Err(self.error("unterminated column list")),
+                    _ => {}
+                }
+            }
+        }
+        self.expect_keyword("values")?;
+        let mut row_count = 0usize;
+        loop {
+            self.expect(&TokenKind::LParen, "'(' starting VALUES row")?;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match self.advance() {
+                    Some(TokenKind::LParen) => depth += 1,
+                    Some(TokenKind::RParen) => depth -= 1,
+                    None => return Err(self.error("unterminated VALUES row")),
+                    _ => {}
+                }
+            }
+            row_count += 1;
+            if matches!(self.peek(), Some(TokenKind::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(InsertAst {
+            table: TableRef { name, alias: None },
+            row_count,
+        })
+    }
+
+    fn delete(&mut self) -> Result<DeleteAst> {
+        self.expect_keyword("delete")?;
+        self.expect_keyword("from")?;
+        let name = self.identifier("table name")?;
+        let conditions = if self.accept_keyword("where") {
+            self.conditions()?
+        } else {
+            Vec::new()
+        };
+        Ok(DeleteAst {
+            table: TableRef { name, alias: None },
+            conditions,
+        })
+    }
+}
+
+fn number_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        Value::Int(n as i64)
+    } else {
+        Value::Float(n)
+    }
+}
+
+fn is_clause_keyword(s: &str) -> bool {
+    [
+        "where", "group", "order", "and", "or", "set", "from", "values", "on", "having", "limit",
+        "asc", "desc", "by", "between", "like", "in",
+    ]
+    .iter()
+    .any(|kw| s.eq_ignore_ascii_case(kw))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_example_query() {
+        let sql = "SELECT count(*) \
+                   FROM tpce.security table1, tpce.company table2, tpce.daily_market table0 \
+                   WHERE table1.s_pe BETWEEN 63.278 AND 86.091 \
+                   AND table1.s_exch_date BETWEEN '1995-05-12-01.46.40' AND '2006-07-10-01.46.40' \
+                   AND table2.co_open_date BETWEEN '1812-08-05-03.21.02' AND '1812-12-12-03.21.02' \
+                   AND table1.s_symb = table0.dm_s_symb \
+                   AND table2.co_id = table1.s_co_id";
+        let stmt = parse(sql).unwrap();
+        let AstStatement::Select(sel) = stmt else {
+            panic!("expected select");
+        };
+        assert_eq!(sel.projection, vec![SelectItem::CountStar]);
+        assert_eq!(sel.tables.len(), 3);
+        assert_eq!(sel.tables[0].alias.as_deref(), Some("table1"));
+        assert_eq!(sel.conditions.len(), 5);
+        assert!(matches!(sel.conditions[3], Condition::ColumnEq { .. }));
+    }
+
+    #[test]
+    fn parses_paper_example_update() {
+        let sql = "UPDATE tpch.lineitem \
+                   SET l_tax = l_tax + RANDOM_SIGN()*0.000001 \
+                   WHERE l_extendedprice BETWEEN 65522.378 AND 66256.943";
+        let stmt = parse(sql).unwrap();
+        let AstStatement::Update(upd) = stmt else {
+            panic!("expected update");
+        };
+        assert_eq!(upd.table.name, "tpch.lineitem");
+        assert_eq!(upd.set_columns, vec!["l_tax".to_string()]);
+        assert_eq!(upd.conditions.len(), 1);
+        assert!(matches!(upd.conditions[0], Condition::Between { .. }));
+    }
+
+    #[test]
+    fn parses_select_with_projection_and_order() {
+        let sql = "SELECT a, b, sum(c) FROM t WHERE a = 5 AND b > 2 GROUP BY a, b ORDER BY a DESC, b";
+        let AstStatement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(sel.projection.len(), 3);
+        assert_eq!(sel.group_by, vec!["a", "b"]);
+        assert_eq!(sel.order_by, vec!["a", "b"]);
+        assert_eq!(sel.conditions.len(), 2);
+    }
+
+    #[test]
+    fn parses_in_list_and_like() {
+        let sql = "SELECT * FROM t WHERE a IN (1, 2, 3) AND name LIKE 'abc%'";
+        let AstStatement::Select(sel) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(&sel.conditions[0], Condition::InList { values, .. } if values.len() == 3));
+        assert!(matches!(&sel.conditions[1], Condition::Like { pattern, .. } if pattern == "abc%"));
+    }
+
+    #[test]
+    fn parses_delete_and_insert() {
+        let AstStatement::Delete(del) = parse("DELETE FROM t WHERE a < 10").unwrap() else {
+            panic!()
+        };
+        assert_eq!(del.conditions.len(), 1);
+
+        let AstStatement::Insert(ins) =
+            parse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y'), (3, 'z')").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(ins.row_count, 3);
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let AstStatement::Select(sel) = parse("SELECT * FROM t WHERE a > -5").unwrap() else {
+            panic!()
+        };
+        assert!(
+            matches!(&sel.conditions[0], Condition::Compare { value: Value::Int(v), .. } if *v == -5)
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("SELECT FROM WHERE").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("SELECT * FROM t WHERE").is_err());
+        assert!(parse("SELECT * FROM t extra garbage here now").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(parse("SELECT * FROM t; SELECT * FROM t").is_err());
+    }
+
+    #[test]
+    fn allows_trailing_semicolon() {
+        assert!(parse("SELECT * FROM t;").is_ok());
+    }
+
+    #[test]
+    fn update_multiple_set_columns() {
+        let AstStatement::Update(upd) =
+            parse("UPDATE t SET a = 1, b = b + 2 WHERE c = 3").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(upd.set_columns, vec!["a".to_string(), "b".to_string()]);
+    }
+}

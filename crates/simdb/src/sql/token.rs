@@ -1,0 +1,299 @@
+//! SQL tokenizer.
+
+use crate::error::{Error, Result};
+
+/// Kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (possibly qualified with dots, e.g. `tpch.lineitem`
+    /// or `table1.s_pe`).  Keywords are recognized case-insensitively by the
+    /// parser, not the tokenizer.
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Quoted string literal (single quotes).
+    String(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<>` or `!=`
+    Ne,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `.` (only emitted when not part of an identifier or number)
+    Dot,
+    /// `;`
+    Semicolon,
+}
+
+/// A token together with its byte position in the input (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub position: usize,
+}
+
+/// Tokenize a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, position: start });
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(Error::Lex {
+                        position: start,
+                        message: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '\'' => {
+                // string literal, no escape handling beyond doubled quotes
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(Error::Lex {
+                            position: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let ch = bytes[i] as char;
+                    if ch == '\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] as char == '\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(ch);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::String(s), position: start });
+            }
+            '0'..='9' => {
+                let mut end = i;
+                while end < bytes.len()
+                    && matches!(bytes[end] as char, '0'..='9' | '.' | 'e' | 'E')
+                {
+                    // Allow `1e-5` style exponents.
+                    if matches!(bytes[end] as char, 'e' | 'E')
+                        && end + 1 < bytes.len()
+                        && matches!(bytes[end + 1] as char, '+' | '-')
+                    {
+                        end += 1;
+                    }
+                    end += 1;
+                }
+                let text = &input[i..end];
+                let value: f64 = text.parse().map_err(|_| Error::Lex {
+                    position: start,
+                    message: format!("invalid number: {text}"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(value), position: start });
+                i = end;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                // Identifier, possibly qualified: schema.table or alias.column.
+                let mut end = i;
+                let mut ident = String::new();
+                let mut quoted = false;
+                while end < bytes.len() {
+                    let ch = bytes[end] as char;
+                    if ch == '"' {
+                        quoted = !quoted;
+                        end += 1;
+                    } else if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' || quoted {
+                        ident.push(ch);
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(ident), position: start });
+                i = end;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                i += 1;
+            }
+            other => {
+                return Err(Error::Lex {
+                    position: start,
+                    message: format!("unexpected character: {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("SELECT * FROM t WHERE a = 1").unwrap();
+        assert_eq!(toks.len(), 8);
+        assert!(matches!(toks[0].kind, TokenKind::Ident(ref s) if s == "SELECT"));
+        assert!(matches!(toks[1].kind, TokenKind::Star));
+        assert!(matches!(toks[7].kind, TokenKind::Number(n) if n == 1.0));
+    }
+
+    #[test]
+    fn tokenizes_qualified_identifiers() {
+        let toks = tokenize("tpch.lineitem table1.l_tax").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(toks[0].kind, TokenKind::Ident(ref s) if s == "tpch.lineitem"));
+        assert!(matches!(toks[1].kind, TokenKind::Ident(ref s) if s == "table1.l_tax"));
+    }
+
+    #[test]
+    fn tokenizes_string_literals_with_dashes() {
+        let toks = tokenize("'1995-05-12-01.46.40'").unwrap();
+        assert_eq!(toks.len(), 1);
+        assert!(matches!(toks[0].kind, TokenKind::String(ref s) if s.starts_with("1995")));
+    }
+
+    #[test]
+    fn tokenizes_escaped_quote() {
+        let toks = tokenize("'o''brien'").unwrap();
+        assert!(matches!(toks[0].kind, TokenKind::String(ref s) if s == "o'brien"));
+    }
+
+    #[test]
+    fn tokenizes_numbers_with_decimals() {
+        let toks = tokenize("65522.378 1e3 2E-2").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert!(matches!(toks[0].kind, TokenKind::Number(n) if (n - 65522.378).abs() < 1e-9));
+        assert!(matches!(toks[1].kind, TokenKind::Number(n) if n == 1000.0));
+        assert!(matches!(toks[2].kind, TokenKind::Number(n) if (n - 0.02).abs() < 1e-12));
+    }
+
+    #[test]
+    fn tokenizes_comparison_operators() {
+        let toks = tokenize("a <= b >= c <> d != e < f > g").unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(kinds.contains(&&TokenKind::Le));
+        assert!(kinds.contains(&&TokenKind::Ge));
+        assert!(kinds.iter().filter(|k| ***k == TokenKind::Ne).count() == 2);
+        assert!(kinds.contains(&&TokenKind::Lt));
+        assert!(kinds.contains(&&TokenKind::Gt));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'abc").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(tokenize("a @ b").is_err());
+    }
+
+    #[test]
+    fn arithmetic_tokens() {
+        let toks = tokenize("l_tax + RANDOM_SIGN()*0.000001").unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Plus));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Star));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::LParen));
+    }
+
+    #[test]
+    fn positions_are_recorded() {
+        let toks = tokenize("SELECT a").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 7);
+    }
+}

@@ -1,0 +1,264 @@
+//! Composition of the eight-phase benchmark workload.
+
+use crate::schema::full_catalog;
+use crate::templates;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use simdb::database::Database;
+use simdb::query::Statement;
+
+/// The four data sets hosted by the benchmark installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataset {
+    /// TPC-H (decision support).
+    TpcH,
+    /// TPC-C (OLTP).
+    TpcC,
+    /// TPC-E (brokerage).
+    TpcE,
+    /// NREF (protein reference, the benchmark's real-life data set).
+    Nref,
+}
+
+impl Dataset {
+    /// All data sets.
+    pub const ALL: [Dataset; 4] = [Dataset::TpcH, Dataset::TpcC, Dataset::TpcE, Dataset::Nref];
+}
+
+/// Specification of one workload phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Primary data set of the phase.
+    pub primary: Dataset,
+    /// Secondary data set (the overlap with the adjacent phase).
+    pub secondary: Dataset,
+    /// Fraction of statements that are data modifications.
+    pub update_fraction: f64,
+}
+
+/// Specification of a benchmark workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Number of statements per phase (the paper uses 200).
+    pub statements_per_phase: usize,
+    /// Random seed (the workload is fully deterministic given the seed).
+    pub seed: u64,
+    /// The eight phases.
+    pub phases: Vec<PhaseSpec>,
+}
+
+impl Default for BenchmarkSpec {
+    fn default() -> Self {
+        Self {
+            statements_per_phase: 200,
+            seed: 0xBE7C_11AD,
+            phases: default_phases(),
+        }
+    }
+}
+
+impl BenchmarkSpec {
+    /// The paper's setup: 8 phases × 200 statements.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A reduced workload (same phase structure, fewer statements per phase)
+    /// for quick experiments and CI runs.
+    pub fn small(statements_per_phase: usize) -> Self {
+        Self {
+            statements_per_phase,
+            ..Self::default()
+        }
+    }
+
+    /// Total number of statements.
+    pub fn total_statements(&self) -> usize {
+        self.statements_per_phase * self.phases.len()
+    }
+}
+
+/// The paper's phase structure: eight phases, each favoring two data sets,
+/// adjacent phases overlapping in one data set and alternating between
+/// query-heavy and update-heavy mixes.
+pub fn default_phases() -> Vec<PhaseSpec> {
+    use Dataset::*;
+    vec![
+        PhaseSpec { primary: TpcH, secondary: TpcC, update_fraction: 0.10 },
+        PhaseSpec { primary: TpcC, secondary: TpcE, update_fraction: 0.45 },
+        PhaseSpec { primary: TpcE, secondary: Nref, update_fraction: 0.15 },
+        PhaseSpec { primary: Nref, secondary: TpcH, update_fraction: 0.50 },
+        PhaseSpec { primary: TpcH, secondary: TpcE, update_fraction: 0.20 },
+        PhaseSpec { primary: TpcE, secondary: TpcC, update_fraction: 0.45 },
+        PhaseSpec { primary: TpcC, secondary: Nref, update_fraction: 0.25 },
+        PhaseSpec { primary: Nref, secondary: TpcH, update_fraction: 0.50 },
+    ]
+}
+
+/// A generated benchmark: the simulated database plus the workload statements.
+pub struct Benchmark {
+    /// The multi-database installation.
+    pub db: Database,
+    /// The workload statements in order.
+    pub statements: Vec<Statement>,
+    /// The raw SQL of every statement (kept for reporting and debugging).
+    pub sql: Vec<String>,
+    /// Phase index (0-based) of every statement.
+    pub phase_of: Vec<usize>,
+    /// The specification the benchmark was generated from.
+    pub spec: BenchmarkSpec,
+}
+
+impl Benchmark {
+    /// Generate the benchmark for a specification.
+    pub fn generate(spec: BenchmarkSpec) -> Self {
+        let db = Database::new(full_catalog());
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut statements = Vec::with_capacity(spec.total_statements());
+        let mut sql = Vec::with_capacity(spec.total_statements());
+        let mut phase_of = Vec::with_capacity(spec.total_statements());
+
+        for (phase_idx, phase) in spec.phases.iter().enumerate() {
+            for _ in 0..spec.statements_per_phase {
+                let dataset = pick_dataset(phase, &mut rng);
+                let is_update = rng.gen_bool(phase.update_fraction.clamp(0.0, 1.0));
+                let text = if is_update {
+                    templates::update(dataset, &mut rng)
+                } else {
+                    templates::query(dataset, &mut rng)
+                };
+                let stmt = db
+                    .parse(&text)
+                    .unwrap_or_else(|e| panic!("generated statement failed to bind: {text}: {e}"));
+                statements.push(stmt);
+                sql.push(text);
+                phase_of.push(phase_idx);
+            }
+        }
+
+        Self {
+            db,
+            statements,
+            sql,
+            phase_of,
+            spec,
+        }
+    }
+
+    /// Number of statements.
+    pub fn len(&self) -> usize {
+        self.statements.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.statements.is_empty()
+    }
+
+    /// Fraction of data-modification statements.
+    pub fn update_fraction(&self) -> f64 {
+        if self.statements.is_empty() {
+            return 0.0;
+        }
+        self.statements.iter().filter(|s| s.is_update()).count() as f64
+            / self.statements.len() as f64
+    }
+
+    /// Statement positions (1-based) at which a new phase begins.
+    pub fn phase_boundaries(&self) -> Vec<usize> {
+        let mut boundaries = Vec::new();
+        let mut last = usize::MAX;
+        for (i, &p) in self.phase_of.iter().enumerate() {
+            if p != last {
+                boundaries.push(i + 1);
+                last = p;
+            }
+        }
+        boundaries
+    }
+}
+
+fn pick_dataset(phase: &PhaseSpec, rng: &mut StdRng) -> Dataset {
+    let roll: f64 = rng.gen();
+    if roll < 0.65 {
+        phase.primary
+    } else if roll < 0.95 {
+        phase.secondary
+    } else {
+        // A small amount of background noise from any data set.
+        Dataset::ALL[rng.gen_range(0..Dataset::ALL.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = Benchmark::generate(BenchmarkSpec::small(10));
+        let b = Benchmark::generate(BenchmarkSpec::small(10));
+        assert_eq!(a.sql, b.sql);
+        assert_eq!(a.len(), 80);
+        let c = Benchmark::generate(BenchmarkSpec {
+            seed: 1,
+            ..BenchmarkSpec::small(10)
+        });
+        assert_ne!(a.sql, c.sql);
+    }
+
+    #[test]
+    fn phases_have_the_requested_length_and_order() {
+        let b = Benchmark::generate(BenchmarkSpec::small(25));
+        assert_eq!(b.len(), 8 * 25);
+        assert_eq!(b.phase_boundaries(), vec![1, 26, 51, 76, 101, 126, 151, 176]);
+        assert_eq!(b.phase_of[0], 0);
+        assert_eq!(*b.phase_of.last().unwrap(), 7);
+    }
+
+    #[test]
+    fn update_fraction_reflects_phase_mix() {
+        let b = Benchmark::generate(BenchmarkSpec::small(60));
+        let f = b.update_fraction();
+        // The phase mix averages ~0.33; allow generous slack for randomness.
+        assert!(f > 0.15 && f < 0.55, "update fraction {f}");
+    }
+
+    #[test]
+    fn update_heavy_phases_have_more_updates_than_query_heavy_ones() {
+        let b = Benchmark::generate(BenchmarkSpec::small(100));
+        let count_updates = |phase: usize| {
+            b.statements
+                .iter()
+                .zip(&b.phase_of)
+                .filter(|(s, p)| **p == phase && s.is_update())
+                .count()
+        };
+        // Phase 3 (NREF, 50% updates) vs phase 0 (TPC-H, 10% updates).
+        assert!(count_updates(3) > count_updates(0));
+    }
+
+    #[test]
+    fn statements_reference_existing_tables_and_bind() {
+        let b = Benchmark::generate(BenchmarkSpec::small(15));
+        for stmt in &b.statements {
+            assert!(!stmt.tables().is_empty());
+        }
+        // Candidate extraction works across the whole workload.
+        let mut total_candidates = 0;
+        for stmt in &b.statements {
+            total_candidates += b.db.extract_candidates(stmt).len();
+        }
+        assert!(total_candidates > 0);
+        assert!(b.db.all_indexes().len() > 20, "a rich candidate pool should be mined");
+    }
+
+    #[test]
+    fn paper_spec_dimensions() {
+        let spec = BenchmarkSpec::paper();
+        assert_eq!(spec.statements_per_phase, 200);
+        assert_eq!(spec.phases.len(), 8);
+        assert_eq!(spec.total_statements(), 1600);
+    }
+}

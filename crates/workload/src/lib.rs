@@ -1,0 +1,24 @@
+//! # workload — the online index-tuning benchmark of Schnaitter & Polyzotis
+//!
+//! Re-implementation of the benchmark workload used in Section 6 of the WFIT
+//! paper (originally introduced in *A Benchmark for Online Index Selection*,
+//! SMDB 2009): a system hosting multiple databases (TPC-C, TPC-H, TPC-E and
+//! the real-life NREF data set), with a complex workload of SQL queries and
+//! updates split into **eight consecutive phases**.  Each phase favors
+//! statements on specific data sets, adjacent phases overlap in their focus,
+//! and phases differ in the relative frequency of updates and queries — which
+//! makes the workload a stress test for online tuning, because "most indices
+//! are beneficial only for short windows of the workload".
+//!
+//! No base data is generated: the cost model of [`simdb`] is purely
+//! statistics-driven, matching the paper's use of the optimizer cost model for
+//! evaluation.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod generator;
+pub mod schema;
+pub mod templates;
+
+pub use generator::{Benchmark, BenchmarkSpec, Dataset, PhaseSpec};

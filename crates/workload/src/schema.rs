@@ -1,0 +1,267 @@
+//! Schemas and statistics of the four benchmark data sets.
+//!
+//! Row counts are scaled to keep the simulated database in the same ballpark
+//! as the paper's 2.9 GB multi-database installation; what matters to the
+//! tuning algorithms is the *relative* size of tables, the column
+//! cardinalities that drive selectivity estimation, and the presence of
+//! columns that are attractive for indexing.
+
+use simdb::catalog::{Catalog, CatalogBuilder};
+use simdb::types::{string_to_numeric, DataType};
+
+/// Add the TPC-H tables (decision-support schema).
+pub fn add_tpch(b: &mut CatalogBuilder) {
+    b.table("tpch.lineitem")
+        .rows(600_000.0)
+        .column("l_orderkey", DataType::Integer, 150_000.0)
+        .column("l_partkey", DataType::Integer, 20_000.0)
+        .column("l_suppkey", DataType::Integer, 1_000.0)
+        .column_with_range("l_quantity", DataType::Decimal, 50.0, 1.0, 50.0)
+        .column_with_range("l_extendedprice", DataType::Decimal, 500_000.0, 900.0, 105_000.0)
+        .column_with_range("l_discount", DataType::Decimal, 11.0, 0.0, 0.1)
+        .column_with_range("l_tax", DataType::Decimal, 9.0, 0.0, 0.08)
+        .column_with_range(
+            "l_shipdate",
+            DataType::Date,
+            2_500.0,
+            string_to_numeric("1992-01-01"),
+            string_to_numeric("1998-12-01"),
+        )
+        .finish();
+    b.table("tpch.orders")
+        .rows(150_000.0)
+        .column("o_orderkey", DataType::Integer, 150_000.0)
+        .column("o_custkey", DataType::Integer, 15_000.0)
+        .column_with_range("o_totalprice", DataType::Decimal, 140_000.0, 850.0, 560_000.0)
+        .column_with_range(
+            "o_orderdate",
+            DataType::Date,
+            2_400.0,
+            string_to_numeric("1992-01-01"),
+            string_to_numeric("1998-08-02"),
+        )
+        .finish();
+    b.table("tpch.customer")
+        .rows(15_000.0)
+        .column("c_custkey", DataType::Integer, 15_000.0)
+        .column("c_nationkey", DataType::Integer, 25.0)
+        .column_with_range("c_acctbal", DataType::Decimal, 14_000.0, -999.0, 9_999.0)
+        .finish();
+    b.table("tpch.part")
+        .rows(20_000.0)
+        .column("p_partkey", DataType::Integer, 20_000.0)
+        .column_with_range("p_size", DataType::Integer, 50.0, 1.0, 50.0)
+        .column_with_range("p_retailprice", DataType::Decimal, 19_000.0, 900.0, 2_000.0)
+        .finish();
+    b.table("tpch.supplier")
+        .rows(1_000.0)
+        .column("s_suppkey", DataType::Integer, 1_000.0)
+        .column("s_nationkey", DataType::Integer, 25.0)
+        .column_with_range("s_acctbal", DataType::Decimal, 1_000.0, -998.0, 9_998.0)
+        .finish();
+}
+
+/// Add the TPC-C tables (OLTP schema).
+pub fn add_tpcc(b: &mut CatalogBuilder) {
+    b.table("tpcc.orderline")
+        .rows(800_000.0)
+        .column("ol_o_id", DataType::Integer, 100_000.0)
+        .column("ol_w_id", DataType::Integer, 32.0)
+        .column("ol_d_id", DataType::Integer, 10.0)
+        .column("ol_i_id", DataType::Integer, 100_000.0)
+        .column_with_range("ol_amount", DataType::Decimal, 90_000.0, 0.0, 10_000.0)
+        .column_with_range("ol_quantity", DataType::Integer, 10.0, 1.0, 10.0)
+        .finish();
+    b.table("tpcc.customer")
+        .rows(60_000.0)
+        .column("c_id", DataType::Integer, 3_000.0)
+        .column("c_w_id", DataType::Integer, 32.0)
+        .column("c_d_id", DataType::Integer, 10.0)
+        .column_with_range("c_balance", DataType::Decimal, 50_000.0, -10_000.0, 50_000.0)
+        .column("c_last", DataType::Text, 1_000.0)
+        .finish();
+    b.table("tpcc.stock")
+        .rows(200_000.0)
+        .column("s_i_id", DataType::Integer, 100_000.0)
+        .column("s_w_id", DataType::Integer, 32.0)
+        .column_with_range("s_quantity", DataType::Integer, 100.0, 0.0, 100.0)
+        .column_with_range("s_ytd", DataType::Decimal, 100_000.0, 0.0, 100_000.0)
+        .finish();
+    b.table("tpcc.item")
+        .rows(100_000.0)
+        .column("i_id", DataType::Integer, 100_000.0)
+        .column_with_range("i_price", DataType::Decimal, 9_000.0, 1.0, 100.0)
+        .column("i_name", DataType::Text, 90_000.0)
+        .finish();
+    b.table("tpcc.history")
+        .rows(100_000.0)
+        .column("h_c_id", DataType::Integer, 3_000.0)
+        .column_with_range(
+            "h_date",
+            DataType::Date,
+            80_000.0,
+            string_to_numeric("2005-01-01"),
+            string_to_numeric("2011-12-31"),
+        )
+        .column_with_range("h_amount", DataType::Decimal, 50_000.0, 0.0, 5_000.0)
+        .finish();
+}
+
+/// Add the TPC-E tables (brokerage schema — the data set of the paper's
+/// example query).
+pub fn add_tpce(b: &mut CatalogBuilder) {
+    b.table("tpce.security")
+        .rows(70_000.0)
+        .column("s_symb", DataType::Integer, 70_000.0)
+        .column("s_co_id", DataType::Integer, 5_000.0)
+        .column_with_range("s_pe", DataType::Decimal, 30_000.0, 0.0, 200.0)
+        .column_with_range(
+            "s_exch_date",
+            DataType::Date,
+            20_000.0,
+            string_to_numeric("1980-01-01"),
+            string_to_numeric("2011-01-01"),
+        )
+        .column_with_range("s_52wk_high", DataType::Decimal, 40_000.0, 1.0, 1_000.0)
+        .finish();
+    b.table("tpce.company")
+        .rows(5_000.0)
+        .column("co_id", DataType::Integer, 5_000.0)
+        .column_with_range(
+            "co_open_date",
+            DataType::Date,
+            4_000.0,
+            string_to_numeric("1800-01-01"),
+            string_to_numeric("2005-01-01"),
+        )
+        .column_with_range("co_rating", DataType::Integer, 10.0, 1.0, 10.0)
+        .finish();
+    b.table("tpce.daily_market")
+        .rows(900_000.0)
+        .column("dm_s_symb", DataType::Integer, 70_000.0)
+        .column_with_range(
+            "dm_date",
+            DataType::Date,
+            1_300.0,
+            string_to_numeric("2006-01-01"),
+            string_to_numeric("2011-01-01"),
+        )
+        .column_with_range("dm_close", DataType::Decimal, 100_000.0, 0.1, 1_000.0)
+        .column_with_range("dm_vol", DataType::Integer, 500_000.0, 0.0, 10_000_000.0)
+        .finish();
+    b.table("tpce.trade")
+        .rows(600_000.0)
+        .column("t_id", DataType::Integer, 600_000.0)
+        .column("t_s_symb", DataType::Integer, 70_000.0)
+        .column_with_range("t_qty", DataType::Integer, 800.0, 1.0, 800.0)
+        .column_with_range("t_price", DataType::Decimal, 90_000.0, 0.1, 1_000.0)
+        .column_with_range(
+            "t_dts",
+            DataType::Date,
+            500_000.0,
+            string_to_numeric("2010-01-01"),
+            string_to_numeric("2011-12-31"),
+        )
+        .finish();
+    b.table("tpce.holding")
+        .rows(100_000.0)
+        .column("h_t_id", DataType::Integer, 100_000.0)
+        .column("h_ca_id", DataType::Integer, 20_000.0)
+        .column_with_range("h_qty", DataType::Integer, 800.0, 1.0, 800.0)
+        .finish();
+}
+
+/// Add the NREF tables (protein reference database — the benchmark's
+/// real-life data set).
+pub fn add_nref(b: &mut CatalogBuilder) {
+    b.table("nref.protein")
+        .rows(100_000.0)
+        .column("p_id", DataType::Integer, 100_000.0)
+        .column_with_range("p_seq_length", DataType::Integer, 5_000.0, 10.0, 40_000.0)
+        .column_with_range("p_mol_weight", DataType::Decimal, 90_000.0, 1_000.0, 4_000_000.0)
+        .column("p_taxon_id", DataType::Integer, 10_000.0)
+        .finish();
+    b.table("nref.neighboring_seq")
+        .rows(900_000.0)
+        .column("n_p_id", DataType::Integer, 100_000.0)
+        .column("n_neighbor_id", DataType::Integer, 100_000.0)
+        .column_with_range("n_score", DataType::Decimal, 10_000.0, 0.0, 1_000.0)
+        .finish();
+    b.table("nref.annotation")
+        .rows(300_000.0)
+        .column("a_p_id", DataType::Integer, 100_000.0)
+        .column_with_range("a_type", DataType::Integer, 40.0, 1.0, 40.0)
+        .column_with_range(
+            "a_date",
+            DataType::Date,
+            3_000.0,
+            string_to_numeric("1995-01-01"),
+            string_to_numeric("2010-01-01"),
+        )
+        .finish();
+    b.table("nref.taxonomy")
+        .rows(10_000.0)
+        .column("t_taxon_id", DataType::Integer, 10_000.0)
+        .column_with_range("t_rank", DataType::Integer, 30.0, 1.0, 30.0)
+        .finish();
+}
+
+/// Build the complete multi-database catalog hosting all four data sets.
+pub fn full_catalog() -> Catalog {
+    let mut b = CatalogBuilder::new();
+    add_tpch(&mut b);
+    add_tpcc(&mut b);
+    add_tpce(&mut b);
+    add_nref(&mut b);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_catalog_has_all_tables() {
+        let c = full_catalog();
+        assert_eq!(c.table_count(), 19);
+        for name in [
+            "tpch.lineitem",
+            "tpcc.orderline",
+            "tpce.daily_market",
+            "nref.neighboring_seq",
+        ] {
+            assert!(c.table_by_name(name).is_ok(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn largest_tables_are_the_fact_tables() {
+        let c = full_catalog();
+        let li = c.table(c.table_by_name("tpch.lineitem").unwrap());
+        let cust = c.table(c.table_by_name("tpch.customer").unwrap());
+        assert!(li.row_count > 10.0 * cust.row_count);
+    }
+
+    #[test]
+    fn date_columns_have_monotone_bounds() {
+        let c = full_catalog();
+        for col in c.columns() {
+            assert!(
+                col.max_value > col.min_value,
+                "column {} has degenerate bounds",
+                col.name
+            );
+            assert!(col.distinct_values >= 1.0);
+        }
+    }
+
+    #[test]
+    fn individual_schemas_can_be_built_alone() {
+        for f in [add_tpch, add_tpcc, add_tpce, add_nref] {
+            let mut b = CatalogBuilder::new();
+            f(&mut b);
+            let c = b.build();
+            assert!(c.table_count() >= 4);
+        }
+    }
+}

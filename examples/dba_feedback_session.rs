@@ -1,0 +1,78 @@
+//! A semi-automatic tuning session: the DBA inspects WFIT's recommendation,
+//! creates one index manually (implicit positive feedback), vetoes another
+//! (explicit negative feedback), and WFIT folds both into its next
+//! recommendations — exactly the scenario sketched in the paper's
+//! introduction.
+//!
+//! Run with `cargo run --example dba_feedback_session`.
+
+use wfit::core::evaluator::{Evaluator, FeedbackStream, RunOptions};
+use wfit::{IndexAdvisor, IndexSet, Wfit, WfitConfig};
+
+fn main() {
+    // Use the benchmark database so the example has realistic tables.
+    let bench = wfit::benchmark(6);
+    let db = &bench.db;
+
+    let mut tuner = Wfit::new(db, WfitConfig::default());
+
+    // Phase 1: analyze a TPC-H heavy prefix of the workload.
+    let prefix: Vec<_> = bench.statements.iter().take(40).cloned().collect();
+    for stmt in &prefix {
+        tuner.analyze_query(stmt);
+    }
+    let first = tuner.recommend();
+    println!("WFIT recommends {} indices after 40 statements:", first.len());
+    for idx in first.iter() {
+        println!("  {}", db.index_name(idx));
+    }
+
+    // Phase 2: the DBA reacts.
+    //  - They create the first recommended index out-of-band  → implicit +vote.
+    //  - They refuse the second one (say, it clashed with locking in the past)
+    //    → explicit −vote.
+    let mut it = first.iter();
+    let accepted = it.next();
+    let vetoed = it.next();
+    if let (Some(acc), Some(veto)) = (accepted, vetoed) {
+        println!();
+        println!("DBA creates {} and vetoes {}", db.index_name(acc), db.index_name(veto));
+        tuner.feedback(&IndexSet::single(acc), &IndexSet::single(veto));
+        tuner.notify_materialized(IndexSet::single(acc));
+        let after = tuner.recommend();
+        assert!(after.contains(acc));
+        assert!(!after.contains(veto));
+        println!("next recommendation honors both votes ({} indices)", after.len());
+    }
+
+    // Phase 3: keep tuning; the workload may eventually override the votes.
+    let rest: Vec<_> = bench.statements.iter().skip(40).cloned().collect();
+    let evaluator = Evaluator::new(db);
+    let result = evaluator.run(&mut tuner, &rest, &RunOptions::default());
+    println!();
+    println!(
+        "after the full workload: total work {:.0}, final recommendation {} indices",
+        result.total_work,
+        tuner.recommend().len()
+    );
+
+    // A scheduled feedback stream can also be replayed by the evaluator — this
+    // is how the paper's V_GOOD / V_BAD experiments are driven.
+    let mut stream = FeedbackStream::empty();
+    if let Some(acc) = accepted {
+        stream.add(10, IndexSet::single(acc), IndexSet::empty());
+    }
+    let mut fresh = Wfit::new(db, WfitConfig::default());
+    let replay = evaluator.run(
+        &mut fresh,
+        &bench.statements,
+        &RunOptions {
+            feedback: stream,
+            ..RunOptions::default()
+        },
+    );
+    println!(
+        "replay with a scheduled +vote at statement 10: total work {:.0}",
+        replay.total_work
+    );
+}

@@ -1,0 +1,63 @@
+//! Online tuning under a shifting workload: run WFIT and the BC baseline over
+//! the eight-phase benchmark and print a per-phase comparison against the
+//! offline optimal schedule — a miniature of the paper's Figure 8/12 setup.
+//!
+//! Run with `cargo run --release --example shifting_workload`.
+
+use advisors::{compute_optimal, BruchoChaudhuriAdvisor};
+use wfit::core::candidates::offline_selection;
+use wfit::core::evaluator::{Evaluator, RunOptions};
+use wfit::{IndexSet, Wfit, WfitConfig};
+
+fn main() {
+    let bench = wfit::benchmark(25); // 8 phases × 25 statements
+    let db = &bench.db;
+
+    // Offline: mine the fixed candidate set + stable partition and compute OPT.
+    let selection = offline_selection(db, &bench.statements, &WfitConfig::default());
+    println!(
+        "mined {} candidates out of a universe of {}, stable partition has {} parts",
+        selection.candidates.len(),
+        selection.universe.len(),
+        selection.partition.len()
+    );
+    let opt = compute_optimal(db, &bench.statements, &selection.partition, &IndexSet::empty());
+
+    // Online advisors.
+    let evaluator = Evaluator::new(db);
+    let mut wfit_auto = Wfit::new(db, WfitConfig::default());
+    let auto = evaluator.run(&mut wfit_auto, &bench.statements, &RunOptions::default());
+    let mut bc = BruchoChaudhuriAdvisor::new(db, selection.candidates.clone(), &IndexSet::empty());
+    let bc_run = evaluator.run(&mut bc, &bench.statements, &RunOptions::default());
+
+    // Per-phase report.
+    println!();
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}  (cumulative total work; lower is better)",
+        "phase", "OPT", "WFIT", "BC"
+    );
+    let boundaries = bench.phase_boundaries();
+    for (phase, _start) in boundaries.iter().enumerate() {
+        let end = boundaries
+            .get(phase + 1)
+            .map(|b| b - 1)
+            .unwrap_or(bench.len());
+        println!(
+            "{:>6} {:>14.0} {:>14.0} {:>14.0}",
+            phase + 1,
+            opt.cumulative_at(end),
+            auto.cumulative_at(end),
+            bc_run.cumulative_at(end)
+        );
+    }
+    println!();
+    println!(
+        "final ratios (OPT=1): WFIT {:.3}, BC {:.3}",
+        opt.total / auto.total_work,
+        opt.total / bc_run.total_work
+    );
+    println!(
+        "WFIT repartitioned {} times while following the phase shifts",
+        wfit_auto.repartition_count()
+    );
+}

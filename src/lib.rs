@@ -1,0 +1,35 @@
+//! # wfit — semi-automatic index tuning, end to end
+//!
+//! This façade crate re-exports the building blocks of the WFIT reproduction
+//! (Schnaitter & Polyzotis, *Semi-Automatic Index Tuning: Keeping DBAs in the
+//! Loop*, VLDB 2012) so that applications can depend on a single crate:
+//!
+//! * [`simdb`] — the simulated DBMS substrate (catalog, SQL subset, what-if
+//!   optimizer, transition costs);
+//! * [`ibg`] — index benefit graphs, interaction analysis, stable partitions;
+//! * [`core`](wfit_core) — WFA, WFA⁺ and WFIT, the feedback mechanism and the
+//!   `totWork` evaluation harness;
+//! * [`advisors`] — the BC and OPT baselines;
+//! * [`workload`] — the eight-phase online index-tuning benchmark.
+//!
+//! See `examples/quickstart.rs` for the fastest way to get a recommendation
+//! out of WFIT, and `examples/dba_feedback_session.rs` for the semi-automatic
+//! feedback loop.
+
+pub use advisors;
+pub use ibg;
+pub use simdb;
+pub use wfit_core as core;
+pub use workload;
+
+pub use simdb::database::Database;
+pub use simdb::index::{IndexId, IndexSet};
+pub use wfit_core::advisor::IndexAdvisor;
+pub use wfit_core::config::WfitConfig;
+pub use wfit_core::wfit::Wfit;
+
+/// Convenience: build the benchmark database and workload of the paper's
+/// evaluation with `statements_per_phase` statements per phase.
+pub fn benchmark(statements_per_phase: usize) -> workload::Benchmark {
+    workload::Benchmark::generate(workload::BenchmarkSpec::small(statements_per_phase))
+}

@@ -1,0 +1,280 @@
+//! Property-based tests of the core invariants claimed by the paper.
+
+use proptest::prelude::*;
+use simdb::index::{IndexId, IndexSet};
+use wfit::core::env::{mock_statement, MockEnv, TuningEnv};
+use wfit::core::evaluator::{total_work_of_schedule, Evaluator, RunOptions};
+use wfit::core::wfa::WfaInstance;
+use wfit::core::wfa_plus::WfaPlus;
+use wfit::IndexAdvisor;
+
+/// Build an additive (fully independent) scripted environment: `n_indexes`
+/// indices, `n_stmts` statements, index `i` saves `savings[i][j]` on
+/// statement `j` (possibly negative).
+fn additive_env(
+    savings: &[Vec<f64>],
+    base: f64,
+    create: f64,
+) -> (MockEnv, Vec<simdb::query::Statement>, Vec<IndexId>) {
+    let env = MockEnv::new(create, 0.5);
+    let n_indexes = savings.len();
+    let ids: Vec<IndexId> = (0..n_indexes as u32).map(IndexId).collect();
+    let n_stmts = savings[0].len();
+    let mut stmts = Vec::new();
+    for j in 0..n_stmts {
+        let q = mock_statement(j as u32 + 1);
+        for mask in 0u32..(1 << n_indexes) {
+            let cfg = IndexSet::from_iter(
+                ids.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, id)| *id),
+            );
+            let mut cost = base;
+            for (i, s) in savings.iter().enumerate() {
+                if cfg.contains(ids[i]) {
+                    cost -= s[j];
+                }
+            }
+            env.set_cost(&q, &cfg, cost.max(0.0));
+        }
+        stmts.push(q);
+    }
+    (env, stmts, ids)
+}
+
+fn savings_strategy(
+    n_indexes: usize,
+    n_stmts: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-20.0f64..40.0, n_stmts),
+        n_indexes,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 4.2: WFA⁺ over a stable (here: fully independent) partition
+    /// makes the same recommendations as a single WFA over all candidates.
+    #[test]
+    fn wfa_plus_equivalence(savings in savings_strategy(3, 6)) {
+        let (env, stmts, ids) = additive_env(&savings, 200.0, 30.0);
+        let singleton: Vec<Vec<IndexId>> = ids.iter().map(|&i| vec![i]).collect();
+        let mut split = WfaPlus::new(&env, &singleton, &IndexSet::empty());
+        let mut joint = WfaPlus::new(&env, &[ids.clone()], &IndexSet::empty());
+        for q in &stmts {
+            split.analyze_query(q);
+            joint.analyze_query(q);
+            prop_assert_eq!(split.recommend(), joint.recommend());
+        }
+    }
+
+    /// Lemma A.1: the work function never decreases as statements arrive.
+    #[test]
+    fn work_function_is_monotone(savings in savings_strategy(2, 8)) {
+        let (env, stmts, ids) = additive_env(&savings, 150.0, 25.0);
+        let mut wfa = WfaInstance::new(
+            ids.clone(),
+            ids.iter().map(|&i| env.create_cost(i)).collect(),
+            ids.iter().map(|&i| env.drop_cost(i)).collect(),
+            &IndexSet::empty(),
+        );
+        for q in &stmts {
+            let before: Vec<f64> = wfa.work_values().map(|(_, v)| v).collect();
+            wfa.analyze_query(|cfg| env.cost(q, cfg));
+            let after: Vec<f64> = wfa.work_values().map(|(_, v)| v).collect();
+            for (b, a) in before.iter().zip(after.iter()) {
+                prop_assert!(a + 1e-9 >= *b);
+            }
+        }
+    }
+
+    /// The total work reported by the evaluator equals the replay of the
+    /// advisor's own adopted schedule (accounting consistency).
+    #[test]
+    fn evaluator_total_work_matches_schedule_replay(savings in savings_strategy(2, 6)) {
+        let (env, stmts, ids) = additive_env(&savings, 120.0, 20.0);
+        let parts: Vec<Vec<IndexId>> = ids.iter().map(|&i| vec![i]).collect();
+        let mut advisor = WfaPlus::new(&env, &parts, &IndexSet::empty());
+        let evaluator = Evaluator::new(&env);
+        let run = evaluator.run(&mut advisor, &stmts, &RunOptions::default());
+
+        // Reconstruct the adopted schedule from the per-statement outcomes by
+        // replaying with a fresh advisor.
+        let mut advisor2 = WfaPlus::new(&env, &parts, &IndexSet::empty());
+        let mut schedule = Vec::new();
+        for q in &stmts {
+            advisor2.analyze_query(q);
+            schedule.push(advisor2.recommend());
+        }
+        let replay = total_work_of_schedule(&env, &stmts, &schedule, &IndexSet::empty());
+        prop_assert!((replay.total_work - run.total_work).abs() < 1e-6);
+    }
+
+    /// Consistency (Section 3.1): immediately after feedback, every positively
+    /// voted index is recommended and no negatively voted index is.
+    #[test]
+    fn feedback_consistency(
+        savings in savings_strategy(3, 4),
+        pos_mask in 0u32..8,
+        neg_mask in 0u32..8,
+    ) {
+        let (env, stmts, ids) = additive_env(&savings, 100.0, 15.0);
+        // Make the vote sets disjoint (negative loses ties).
+        let pos_mask = pos_mask & !neg_mask;
+        let positive = IndexSet::from_iter(
+            ids.iter().enumerate().filter(|(i, _)| pos_mask & (1 << i) != 0).map(|(_, id)| *id),
+        );
+        let negative = IndexSet::from_iter(
+            ids.iter().enumerate().filter(|(i, _)| neg_mask & (1 << i) != 0).map(|(_, id)| *id),
+        );
+        let parts: Vec<Vec<IndexId>> = ids.iter().map(|&i| vec![i]).collect();
+        let mut advisor = WfaPlus::new(&env, &parts, &IndexSet::empty());
+        for q in &stmts {
+            advisor.analyze_query(q);
+            advisor.feedback(&positive, &negative);
+            let rec = advisor.recommend();
+            prop_assert!(positive.is_subset_of(&rec));
+            prop_assert!(rec.intersection(&negative).is_empty());
+        }
+    }
+
+    /// δ is asymmetric but satisfies the triangle inequality and the cyclic
+    /// identity of Lemma A.2.
+    #[test]
+    fn transition_cost_properties(
+        creates in proptest::collection::vec(1.0f64..100.0, 4),
+        masks in proptest::collection::vec(0usize..16, 3),
+    ) {
+        let env = MockEnv::new(0.0, 0.0);
+        let ids: Vec<IndexId> = (0..4u32).map(IndexId).collect();
+        for (i, c) in creates.iter().enumerate() {
+            env.set_create_cost(ids[i], *c);
+            env.set_drop_cost(ids[i], c / 10.0);
+        }
+        let set_of = |mask: usize| {
+            IndexSet::from_iter(
+                ids.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, id)| *id),
+            )
+        };
+        let (x, y, z) = (set_of(masks[0]), set_of(masks[1]), set_of(masks[2]));
+        // Triangle inequality.
+        prop_assert!(env.transition_cost(&x, &y) <= env.transition_cost(&x, &z) + env.transition_cost(&z, &y) + 1e-9);
+        // Identity and non-negativity.
+        prop_assert_eq!(env.transition_cost(&x, &x), 0.0);
+        prop_assert!(env.transition_cost(&x, &y) >= 0.0);
+        // Lemma A.2: cost of a cycle equals the cost of the reversed cycle.
+        let forward = env.transition_cost(&x, &y) + env.transition_cost(&y, &z) + env.transition_cost(&z, &x);
+        let backward = env.transition_cost(&x, &z) + env.transition_cost(&z, &y) + env.transition_cost(&y, &x);
+        prop_assert!((forward - backward).abs() < 1e-9);
+    }
+
+    /// The recommendation of a WFA instance is always drawn from its own
+    /// candidate set, regardless of the workload.
+    #[test]
+    fn recommendations_stay_within_candidates(savings in savings_strategy(3, 5)) {
+        let (env, stmts, ids) = additive_env(&savings, 90.0, 10.0);
+        let candidate_set = IndexSet::from_iter(ids.iter().copied());
+        let mut advisor = WfaPlus::new(&env, &[ids.clone()], &IndexSet::empty());
+        for q in &stmts {
+            advisor.analyze_query(q);
+            prop_assert!(advisor.recommend().is_subset_of(&candidate_set));
+        }
+    }
+}
+
+/// Property tests against the real simulated DBMS (fewer cases, heavier).
+mod simdb_properties {
+    use super::*;
+    use simdb::catalog::CatalogBuilder;
+    use simdb::database::Database;
+    use simdb::query::{build, PredicateKind};
+    use simdb::types::DataType;
+
+    fn database() -> (Database, Vec<IndexId>, simdb::TableId, Vec<simdb::ColumnId>) {
+        let mut b = CatalogBuilder::new();
+        b.table("t")
+            .rows(1_000_000.0)
+            .column("a", DataType::Integer, 250_000.0)
+            .column("b", DataType::Integer, 50_000.0)
+            .column("c", DataType::Integer, 64.0)
+            .finish();
+        let db = Database::new(b.build());
+        let t = db.catalog().table_by_name("t").unwrap();
+        let cols: Vec<simdb::ColumnId> = db.catalog().table(t).columns.clone();
+        let i1 = db.define_index_on(t, vec![cols[0]]);
+        let i2 = db.define_index_on(t, vec![cols[1]]);
+        let i3 = db.define_index_on(t, vec![cols[0], cols[1]]);
+        (db, vec![i1, i2, i3], t, cols)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Query costs are monotone non-increasing in the configuration and
+        /// always positive.
+        #[test]
+        fn select_cost_monotone(sel_a in 1e-6f64..0.5, sel_b in 1e-6f64..0.5, mask in 0usize..8) {
+            let (db, idx, t, cols) = database();
+            let stmt = build::select()
+                .table(t)
+                .predicate(t, cols[0], PredicateKind::Range, sel_a)
+                .predicate(t, cols[1], PredicateKind::Range, sel_b)
+                .output(cols[2])
+                .build();
+            let subset = IndexSet::from_iter(
+                idx.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, id)| *id),
+            );
+            let full = IndexSet::from_iter(idx.iter().copied());
+            let c_subset = db.cost(&stmt, &subset);
+            let c_full = db.cost(&stmt, &full);
+            prop_assert!(c_subset > 0.0);
+            prop_assert!(c_full <= c_subset + 1e-9);
+        }
+
+        /// The IBG reproduces the optimizer's costs exactly for every subset.
+        #[test]
+        fn ibg_cost_exactness(sel_a in 1e-6f64..0.5, sel_b in 1e-6f64..0.5) {
+            let (db, idx, t, cols) = database();
+            let stmt = build::select()
+                .table(t)
+                .predicate(t, cols[0], PredicateKind::Range, sel_a)
+                .predicate(t, cols[1], PredicateKind::Range, sel_b)
+                .output(cols[2])
+                .build();
+            let relevant = IndexSet::from_iter(idx.iter().copied());
+            let ibg = ibg::IndexBenefitGraph::build(relevant, |cfg| db.whatif_cost(&stmt, cfg));
+            for mask in 0usize..8 {
+                let cfg = IndexSet::from_iter(
+                    idx.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, id)| *id),
+                );
+                prop_assert!((ibg.cost(&cfg) - db.cost(&stmt, &cfg)).abs() < 1e-6);
+            }
+        }
+
+        /// Update statements never get cheaper when more indexes must be
+        /// maintained on the modified column.
+        #[test]
+        fn update_maintenance_monotone(sel in 1e-6f64..0.01) {
+            let (db, idx, t, cols) = database();
+            let upd = build::update(
+                t,
+                vec![cols[0]],
+                vec![simdb::query::Predicate {
+                    table: t,
+                    column: cols[2],
+                    kind: PredicateKind::Equality,
+                    selectivity: sel,
+                }],
+            );
+            // idx[0] = (a) and idx[2] = (a, b) both contain the modified column.
+            let none = db.cost(&upd, &IndexSet::empty());
+            let one = db.cost(&upd, &IndexSet::single(idx[0]));
+            let two = db.cost(&upd, &IndexSet::from_iter([idx[0], idx[2]]));
+            prop_assert!(one >= none - 1e-9);
+            prop_assert!(two >= one - 1e-9);
+        }
+    }
+}
