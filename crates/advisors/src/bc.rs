@@ -120,12 +120,12 @@ impl<'e, E: TuningEnv> IndexAdvisor for BruchoChaudhuriAdvisor<'e, E> {
     }
 
     fn recommend(&self) -> IndexSet {
-        IndexSet::from_iter(
-            self.candidates
-                .iter()
-                .copied()
-                .filter(|id| self.accounts.get(id).map(|a| a.recommended).unwrap_or(false)),
-        )
+        IndexSet::from_iter(self.candidates.iter().copied().filter(|id| {
+            self.accounts
+                .get(id)
+                .map(|a| a.recommended)
+                .unwrap_or(false)
+        }))
     }
 
     fn name(&self) -> String {
@@ -155,7 +155,10 @@ mod tests {
         let (env, good, _bad, a) = scripted();
         let mut bc = BruchoChaudhuriAdvisor::new(&env, vec![a], &IndexSet::empty());
         bc.analyze_query(&good);
-        assert!(bc.recommend().is_empty(), "one query is not enough (credit 50 < 100)");
+        assert!(
+            bc.recommend().is_empty(),
+            "one query is not enough (credit 50 < 100)"
+        );
         bc.analyze_query(&good);
         assert_eq!(bc.recommend(), IndexSet::single(a));
         assert_eq!(bc.statements_analyzed(), 2);

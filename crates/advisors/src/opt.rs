@@ -58,8 +58,7 @@ pub fn compute_optimal<E: TuningEnv>(
     initial: &IndexSet,
 ) -> OptSchedule {
     let n = workload.len();
-    let all_candidates: IndexSet =
-        IndexSet::from_iter(partition.iter().flatten().copied());
+    let all_candidates: IndexSet = IndexSet::from_iter(partition.iter().flatten().copied());
 
     // Pre-compute, for every statement, the cost of every configuration within
     // each part (through one IBG per statement) and the empty-set cost.
@@ -73,9 +72,8 @@ pub fn compute_optimal<E: TuningEnv>(
         let ibg = IndexBenefitGraph::build(all_candidates.clone(), |cfg| env.whatif(stmt, cfg));
         empty_costs[i] = ibg.cost(&IndexSet::empty());
         for (k, part) in partition.iter().enumerate() {
-            for mask in 0..(1usize << part.len()) {
-                let cfg = set_of(part, mask);
-                costs[k][i][mask] = ibg.cost(&cfg);
+            for (mask, slot) in costs[k][i].iter_mut().enumerate() {
+                *slot = ibg.cost(&set_of(part, mask));
             }
         }
     }
@@ -112,11 +110,11 @@ pub fn compute_optimal<E: TuningEnv>(
             for y in 0..size {
                 let mut best = f64::INFINITY;
                 let mut best_x = y;
-                for x in 0..size {
-                    if opt[x].is_infinite() {
+                for (x, &w) in opt.iter().enumerate() {
+                    if w.is_infinite() {
                         continue;
                     }
-                    let v = opt[x] + delta(x, y);
+                    let v = w + delta(x, y);
                     if v < best {
                         best = v;
                         best_x = x;
@@ -157,14 +155,16 @@ pub fn compute_optimal<E: TuningEnv>(
         };
     }
 
-    let mut schedule = Vec::with_capacity(n);
-    for i in 0..n {
-        let mut cfg = IndexSet::empty();
-        for (k, part) in partition.iter().enumerate() {
-            cfg = cfg.union(&set_of(part, per_part_schedule[k][i]));
-        }
-        schedule.push(cfg);
-    }
+    let schedule: Vec<IndexSet> = (0..n)
+        .map(|i| {
+            partition
+                .iter()
+                .enumerate()
+                .fold(IndexSet::empty(), |cfg, (k, part)| {
+                    cfg.union(&set_of(part, per_part_schedule[k][i]))
+                })
+        })
+        .collect();
 
     // Derive create/drop events.
     let mut creations = Vec::new();
@@ -339,12 +339,7 @@ mod tests {
             }
             workload.push(q);
         }
-        let opt = compute_optimal(
-            &env,
-            &workload,
-            &vec![vec![a], vec![b]],
-            &IndexSet::empty(),
-        );
+        let opt = compute_optimal(&env, &workload, &vec![vec![a], vec![b]], &IndexSet::empty());
         let replay = total_work_of_schedule(&env, &workload, &opt.schedule, &IndexSet::empty());
         assert!(
             (replay.total_work - opt.total).abs() < 1e-6,

@@ -19,8 +19,7 @@ fn main() {
             hist_size: hist,
             ..WfitConfig::default()
         };
-        let mut advisor =
-            Wfit::new(&experiment.bench.db, config).with_name(format!("hist={hist}"));
+        let mut advisor = Wfit::new(&experiment.bench.db, config).with_name(format!("hist={hist}"));
         let run = experiment.run(&mut advisor, &options);
         println!("{}", summary_line(&experiment, &run));
     }

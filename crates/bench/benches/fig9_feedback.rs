@@ -20,11 +20,7 @@ fn main() {
 
     let mut series = Vec::new();
     let mut runs = Vec::new();
-    for (label, feedback) in [
-        ("GOOD", Some(good)),
-        ("WFIT", None),
-        ("BAD", Some(bad)),
-    ] {
+    for (label, feedback) in [("GOOD", Some(good)), ("WFIT", None), ("BAD", Some(bad))] {
         let mut advisor = Wfit::with_fixed_partition(
             &experiment.bench.db,
             WfitConfig::default(),

@@ -76,11 +76,7 @@ impl Experiment {
     /// The singleton (full independence) partition over the default candidate
     /// set, used by the WFIT-IND variants.
     pub fn independent_partition(&self) -> Partition {
-        self.selection
-            .candidates
-            .iter()
-            .map(|&c| vec![c])
-            .collect()
+        self.selection.candidates.iter().map(|&c| vec![c]).collect()
     }
 
     /// Run an advisor over the workload and return its result.

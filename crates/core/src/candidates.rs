@@ -177,8 +177,7 @@ pub fn choose_partition(
         })
         .filter(|p: &Vec<IndexId>| !p.is_empty())
         .collect();
-    let covered: IndexSet =
-        IndexSet::from_iter(baseline.iter().flatten().copied());
+    let covered: IndexSet = IndexSet::from_iter(baseline.iter().flatten().copied());
     for &id in indices {
         if !covered.contains(id) {
             baseline.push(vec![id]);
@@ -254,11 +253,7 @@ fn random_merge_pass(
             break;
         };
         let (i, j) = weighted_choice(&pool, rng);
-        let merged: Vec<IndexId> = parts[i]
-            .iter()
-            .chain(parts[j].iter())
-            .copied()
-            .collect();
+        let merged: Vec<IndexId> = parts[i].iter().chain(parts[j].iter()).copied().collect();
         // Remove the higher position first to keep the lower index valid.
         let (lo, hi) = if i < j { (i, j) } else { (j, i) };
         parts.remove(hi);
@@ -351,13 +346,7 @@ pub fn offline_selection<E: TuningEnv>(
         pool.update_stats(&ibg);
     }
     let universe = pool.universe().to_vec();
-    let candidates = top_indices(
-        env,
-        &pool,
-        &universe,
-        &IndexSet::empty(),
-        config.idx_cnt,
-    );
+    let candidates = top_indices(env, &pool, &universe, &IndexSet::empty(), config.idx_cnt);
     let weights = pool.interaction_weights(&candidates);
     let partition = if config.assume_independence {
         normalize(candidates.iter().map(|&c| vec![c]).collect())
@@ -417,7 +406,13 @@ mod tests {
         assert_eq!(top, ids(&[1, 2]));
         // Monitoring index 3 waives its creation cost, but its benefit is
         // still zero, so with limit 1 the winner is index 1.
-        let top = top_indices(&env, &pool, &ids(&[1, 2, 3]), &IndexSet::single(IndexId(3)), 1);
+        let top = top_indices(
+            &env,
+            &pool,
+            &ids(&[1, 2, 3]),
+            &IndexSet::single(IndexId(3)),
+            1,
+        );
         assert_eq!(top, ids(&[1]));
         // A monitored index with modest benefit outranks an unmonitored index
         // whose benefit does not cover its creation cost.

@@ -380,7 +380,11 @@ mod tests {
     fn feedback_positions_merge() {
         let mut stream = FeedbackStream::empty();
         stream.add(3, IndexSet::single(IndexId(1)), IndexSet::empty());
-        stream.add(3, IndexSet::single(IndexId(2)), IndexSet::single(IndexId(9)));
+        stream.add(
+            3,
+            IndexSet::single(IndexId(2)),
+            IndexSet::single(IndexId(9)),
+        );
         let (p, n) = stream.at(3).unwrap();
         assert_eq!(p.len(), 2);
         assert_eq!(n.len(), 1);

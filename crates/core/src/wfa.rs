@@ -180,21 +180,20 @@ impl WfaInstance {
         assert_eq!(costs.len(), size);
 
         // Stage 1: update the work function.
-        let mut w_next = vec![f64::INFINITY; size];
-        let mut in_p = vec![false; size]; // S ∈ p[S]?
-        for s in 0..size {
-            let mut best = f64::INFINITY;
-            for x in 0..size {
-                let v = self.w[x] + costs[x] + self.delta(x, s);
-                if v < best {
-                    best = v;
-                }
-            }
-            w_next[s] = best;
-            // S ∈ p[S] iff the path that stays in S achieves the minimum.
-            let stay = self.w[s] + costs[s];
-            in_p[s] = stay <= best * (1.0 + EPS) + EPS;
-        }
+        let (w_next, in_p): (Vec<f64>, Vec<bool>) = (0..size)
+            .map(|s| {
+                let best = self
+                    .w
+                    .iter()
+                    .zip(costs)
+                    .enumerate()
+                    .map(|(x, (&w, &c))| w + c + self.delta(x, s))
+                    .fold(f64::INFINITY, f64::min);
+                // S ∈ p[S] iff the path that stays in S achieves the minimum.
+                let stay = self.w[s] + costs[s];
+                (best, stay <= best * (1.0 + EPS) + EPS)
+            })
+            .unzip();
         self.w = w_next;
 
         // Stage 2: pick the next recommendation among states with S ∈ p[S],
@@ -202,27 +201,22 @@ impl WfaInstance {
         let mut best_state = self.curr_rec;
         let mut best_score = f64::INFINITY;
         let mut have = false;
-        for s in 0..size {
-            if !in_p[s] {
-                continue;
-            }
+        for s in (0..size).filter(|&s| in_p[s]) {
             let score = self.w[s] + self.delta(s, self.curr_rec);
-            let better = if !have {
-                true
-            } else if score < best_score - EPS * (1.0 + best_score.abs()) {
-                true
-            } else if score <= best_score + EPS * (1.0 + best_score.abs()) {
-                lex_prefer(s, best_state)
-            } else {
-                false
-            };
+            let tolerance = EPS * (1.0 + best_score.abs());
+            let better = !have
+                || score < best_score - tolerance
+                || (score <= best_score + tolerance && lex_prefer(s, best_state));
             if better {
                 best_score = score;
                 best_state = s;
                 have = true;
             }
         }
-        debug_assert!(have, "Borodin & El-Yaniv Lemma 9.2: p[S] membership is always satisfiable");
+        debug_assert!(
+            have,
+            "Borodin & El-Yaniv Lemma 9.2: p[S] membership is always satisfiable"
+        );
         self.curr_rec = best_state;
         self.analyzed += 1;
     }
@@ -417,7 +411,9 @@ mod tests {
         let rec = wfa.recommend();
         let rec_score = wfa.score(&rec);
         for (cfg, _) in wfa.work_values().collect::<Vec<_>>() {
-            let s_cons = cfg.difference(&IndexSet::empty()).union(&IndexSet::single(a));
+            let s_cons = cfg
+                .difference(&IndexSet::empty())
+                .union(&IndexSet::single(a));
             let m_s = wfa.mask_of(&cfg);
             let m_cons = wfa.mask_of(&s_cons);
             let min_diff = wfa.delta(m_s, m_cons) + wfa.delta(m_cons, m_s);

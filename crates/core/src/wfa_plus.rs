@@ -109,7 +109,11 @@ mod tests {
     /// `saving[i]` on query `i` (queries are distinct statements), regardless
     /// of the other indices.  Costs are additive across indices, so every
     /// partition of the indices is stable.
-    fn additive_env(savings: &[f64], base: f64, create: f64) -> (MockEnv, Vec<Statement>, Vec<IndexId>) {
+    fn additive_env(
+        savings: &[f64],
+        base: f64,
+        create: f64,
+    ) -> (MockEnv, Vec<Statement>, Vec<IndexId>) {
         let env = MockEnv::new(create, 0.0);
         let ids: Vec<IndexId> = (0..savings.len() as u32).map(IndexId).collect();
         let mut stmts = Vec::new();
@@ -169,7 +173,7 @@ mod tests {
     #[test]
     fn state_count_is_sum_of_part_sizes() {
         let (env, _stmts, ids) = additive_env(&[1.0, 1.0, 1.0, 1.0], 10.0, 5.0);
-        let p1 = WfaPlus::new(&env, &[ids.clone()], &IndexSet::empty());
+        let p1 = WfaPlus::new(&env, std::slice::from_ref(&ids), &IndexSet::empty());
         assert_eq!(p1.state_count(), 16);
         let parts: Vec<Vec<IndexId>> = ids.chunks(2).map(|c| c.to_vec()).collect();
         let p2 = WfaPlus::new(&env, &parts, &IndexSet::empty());
@@ -184,7 +188,10 @@ mod tests {
         let mut adv = WfaPlus::new(&env, &parts, &IndexSet::empty());
         adv.analyze_query(&stmts[0]);
         assert_eq!(adv.recommend(), IndexSet::empty());
-        adv.feedback(&IndexSet::from_iter(ids.iter().copied()), &IndexSet::empty());
+        adv.feedback(
+            &IndexSet::from_iter(ids.iter().copied()),
+            &IndexSet::empty(),
+        );
         assert_eq!(adv.recommend(), IndexSet::from_iter(ids.iter().copied()));
         adv.feedback(&IndexSet::empty(), &IndexSet::single(ids[0]));
         let rec = adv.recommend();
@@ -195,19 +202,14 @@ mod tests {
     #[test]
     fn empty_parts_are_ignored() {
         let (env, _stmts, ids) = additive_env(&[1.0], 10.0, 5.0);
-        let adv = WfaPlus::new(
-            &env,
-            &[vec![], vec![ids[0]], vec![]],
-            &IndexSet::empty(),
-        );
+        let adv = WfaPlus::new(&env, &[vec![], vec![ids[0]], vec![]], &IndexSet::empty());
         assert_eq!(adv.parts().len(), 1);
     }
 
     #[test]
     fn name_override() {
         let (env, _stmts, ids) = additive_env(&[1.0], 10.0, 5.0);
-        let adv =
-            WfaPlus::new(&env, &[vec![ids[0]]], &IndexSet::empty()).with_name("WFIT-500");
+        let adv = WfaPlus::new(&env, &[vec![ids[0]]], &IndexSet::empty()).with_name("WFIT-500");
         assert_eq!(adv.name(), "WFIT-500");
     }
 }

@@ -350,7 +350,8 @@ impl<'e, E: TuningEnv> IndexAdvisor for Wfit<'e, E> {
             self.pool.add_candidates(&unknown_positive);
             for id in unknown_positive {
                 let part = vec![id];
-                self.parts.push(new_instance(self.env, &part, &self.initial));
+                self.parts
+                    .push(new_instance(self.env, &part, &self.initial));
                 self.partition.push(part);
             }
             self.partition = normalize(std::mem::take(&mut self.partition));
@@ -454,7 +455,10 @@ mod tests {
         wfit.feedback(&IndexSet::single(b), &IndexSet::single(a));
         let rec = wfit.recommend();
         assert!(!rec.contains(a));
-        assert!(rec.contains(b), "positive vote must be honored, rec = {rec}");
+        assert!(
+            rec.contains(b),
+            "positive vote must be honored, rec = {rec}"
+        );
         // Workload evidence can override the positive vote over time.
         for _ in 0..20 {
             wfit.analyze_query(&qs[2]);
@@ -520,8 +524,7 @@ mod tests {
     #[test]
     fn initial_materialized_set_is_tracked() {
         let (env, qs, a, _b) = scripted_env();
-        let mut wfit =
-            Wfit::with_initial(&env, WfitConfig::default(), IndexSet::single(a));
+        let mut wfit = Wfit::with_initial(&env, WfitConfig::default(), IndexSet::single(a));
         // The initial candidate set is S0 with singleton parts (Figure 4).
         assert_eq!(wfit.partition().len(), 1);
         assert_eq!(wfit.recommend(), IndexSet::single(a));

@@ -64,7 +64,12 @@ mod tests {
     use simdb::query::{build, PredicateKind};
     use simdb::types::DataType;
 
-    fn setup() -> (Database, Vec<IndexId>, simdb::query::Statement, simdb::query::Statement) {
+    fn setup() -> (
+        Database,
+        Vec<IndexId>,
+        simdb::query::Statement,
+        simdb::query::Statement,
+    ) {
         let mut b = CatalogBuilder::new();
         b.table("t")
             .rows(3_000_000.0)
@@ -99,7 +104,11 @@ mod tests {
         (db, vec![ia, ib], query, update)
     }
 
-    fn ibg_for(db: &Database, ids: &[IndexId], stmt: &simdb::query::Statement) -> IndexBenefitGraph {
+    fn ibg_for(
+        db: &Database,
+        ids: &[IndexId],
+        stmt: &simdb::query::Statement,
+    ) -> IndexBenefitGraph {
         IndexBenefitGraph::build(IndexSet::from_iter(ids.iter().copied()), |cfg| {
             db.whatif_cost(stmt, cfg)
         })

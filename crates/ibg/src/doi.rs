@@ -19,12 +19,7 @@ use simdb::index::{IndexId, IndexSet};
 
 /// The interaction quadruple evaluated at a specific configuration `x`
 /// (which must not contain `a` or `b`).
-pub fn interaction_at(
-    ibg: &IndexBenefitGraph,
-    a: IndexId,
-    b: IndexId,
-    x: &IndexSet,
-) -> f64 {
+pub fn interaction_at(ibg: &IndexBenefitGraph, a: IndexId, b: IndexId, x: &IndexSet) -> f64 {
     let xa = x.union(&IndexSet::single(a));
     let xb = x.union(&IndexSet::single(b));
     let xab = xa.union(&IndexSet::single(b));

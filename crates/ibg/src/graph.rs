@@ -49,10 +49,7 @@ impl IndexBenefitGraph {
     /// `cost_fn` must return the what-if optimization result for the statement
     /// under the given configuration.  The function is called once per IBG
     /// node (and the number of calls is reported by [`Self::whatif_calls`]).
-    pub fn build(
-        relevant: IndexSet,
-        mut cost_fn: impl FnMut(&IndexSet) -> PlanCost,
-    ) -> Self {
+    pub fn build(relevant: IndexSet, mut cost_fn: impl FnMut(&IndexSet) -> PlanCost) -> Self {
         let mut nodes: Vec<IbgNode> = Vec::new();
         let mut by_config: HashMap<IndexSet, usize> = HashMap::new();
         let mut whatif_calls = 0usize;

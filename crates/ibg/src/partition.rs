@@ -93,11 +93,15 @@ pub fn connected_components(
     threshold: f64,
 ) -> Partition {
     let n = indices.len();
-    let position: HashMap<IndexId, usize> =
-        indices.iter().copied().enumerate().map(|(i, id)| (id, i)).collect();
+    let position: HashMap<IndexId, usize> = indices
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, id)| (id, i))
+        .collect();
     // Union-find.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

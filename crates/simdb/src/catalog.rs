@@ -316,7 +316,13 @@ mod tests {
             .rows(6_000_000.0)
             .column("l_orderkey", DataType::Integer, 1_500_000.0)
             .column("l_partkey", DataType::Integer, 200_000.0)
-            .column_with_range("l_extendedprice", DataType::Decimal, 900_000.0, 900.0, 105_000.0)
+            .column_with_range(
+                "l_extendedprice",
+                DataType::Decimal,
+                900_000.0,
+                900.0,
+                105_000.0,
+            )
             .column("l_tax", DataType::Decimal, 9.0)
             .finish();
         b.table("tpch.orders")

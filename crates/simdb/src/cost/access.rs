@@ -142,8 +142,7 @@ fn match_prefix(
             .iter()
             .find(|p| p.column == key_col && p.kind == PredicateKind::Equality);
         let range = predicates.iter().find(|p| {
-            p.column == key_col
-                && matches!(p.kind, PredicateKind::Range | PredicateKind::Like)
+            p.column == key_col && matches!(p.kind, PredicateKind::Range | PredicateKind::Like)
         });
         if let Some(p) = probe_hit {
             matched_selectivity *= p.selectivity;
@@ -188,9 +187,7 @@ fn index_scan(
     let heap_pages = meta.pages();
     let idx_pages = def.pages(ctx.catalog);
 
-    let covering = required_columns
-        .iter()
-        .all(|c| def.key_columns.contains(c));
+    let covering = required_columns.iter().all(|c| def.key_columns.contains(c));
     let prefix = match_prefix(ctx, idx, predicates, probe);
 
     // Does the index deliver the desired order?  It does when the desired
@@ -234,7 +231,11 @@ fn index_scan(
 
     let cost = descent + leaf + fetch + residual;
     let output_rows = (rows * total_selectivity(predicates, probe)).max(1.0);
-    let kind = if covering { "IndexOnlyScan" } else { "IndexScan" };
+    let kind = if covering {
+        "IndexOnlyScan"
+    } else {
+        "IndexScan"
+    };
     Some(TableAccessPlan {
         cost,
         output_rows,
@@ -281,7 +282,8 @@ fn index_intersection(
         * ctx.config.random_page_cost
         * ctx.config.fetch_discount;
 
-    let residual_count = predicates.len().saturating_sub(2) as f64 + probe.map(|_| 1.0).unwrap_or(0.0);
+    let residual_count =
+        predicates.len().saturating_sub(2) as f64 + probe.map(|_| 1.0).unwrap_or(0.0);
     let residual = fetched_rows * residual_count * ctx.config.cpu_operator_cost;
 
     let cost = leaf(def_a, pa.matched_selectivity)
@@ -371,8 +373,7 @@ mod tests {
         let p = pred(&f, f.col_a, PredicateKind::Equality, 1e-5);
         let preds = [&p];
         let no_index = best_access_path(&ctx, f.table, &preds, &[f.col_a], &[], &[], None);
-        let with_index =
-            best_access_path(&ctx, f.table, &preds, &[f.col_a], &[f.idx_a], &[], None);
+        let with_index = best_access_path(&ctx, f.table, &preds, &[f.col_a], &[f.idx_a], &[], None);
         assert!(no_index.used_indexes.is_empty());
         assert_eq!(with_index.used_indexes, vec![f.idx_a]);
         assert!(with_index.cost < no_index.cost / 10.0);
@@ -403,11 +404,25 @@ mod tests {
         let p = pred(&f, f.col_a, PredicateKind::Range, 0.05);
         let preds = [&p];
         // Non-covering: query also needs column c.
-        let non_covering =
-            best_access_path(&ctx, f.table, &preds, &[f.col_a, f.col_c], &[f.idx_ab], &[], None);
+        let non_covering = best_access_path(
+            &ctx,
+            f.table,
+            &preds,
+            &[f.col_a, f.col_c],
+            &[f.idx_ab],
+            &[],
+            None,
+        );
         // Covering: query only needs a and b, which idx_ab contains.
-        let covering =
-            best_access_path(&ctx, f.table, &preds, &[f.col_a, f.col_b], &[f.idx_ab], &[], None);
+        let covering = best_access_path(
+            &ctx,
+            f.table,
+            &preds,
+            &[f.col_a, f.col_b],
+            &[f.idx_ab],
+            &[],
+            None,
+        );
         assert!(covering.cost < non_covering.cost);
         assert_eq!(covering.used_indexes, vec![f.idx_ab]);
     }
@@ -474,15 +489,7 @@ mod tests {
     fn order_providing_index_reports_order() {
         let f = fixture();
         let ctx = CostContext::new(&f.catalog, &f.registry, &f.config);
-        let plan = best_access_path(
-            &ctx,
-            f.table,
-            &[],
-            &[f.col_a],
-            &[f.idx_a],
-            &[f.col_a],
-            None,
-        );
+        let plan = best_access_path(&ctx, f.table, &[], &[f.col_a], &[f.idx_a], &[f.col_a], None);
         assert!(plan.provides_order, "{}", plan.description);
         let seq = best_access_path(&ctx, f.table, &[], &[f.col_a], &[], &[f.col_a], None);
         assert!(!seq.provides_order);

@@ -145,8 +145,11 @@ fn table_context(
     table: TableId,
     config: &IndexSet,
 ) -> TableContext {
-    let preds: Vec<&crate::query::Predicate> =
-        stmt.predicates.iter().filter(|p| p.table == table).collect();
+    let preds: Vec<&crate::query::Predicate> = stmt
+        .predicates
+        .iter()
+        .filter(|p| p.table == table)
+        .collect();
     let required: Vec<ColumnId> = stmt
         .referenced_columns
         .iter()
@@ -228,11 +231,7 @@ fn plan_join_step(
                 .expect("join touches inner table");
             let inner_col_meta = ctx.catalog.column(inner_col);
             let join_sel = 1.0 / inner_col_meta.distinct_values.max(1.0);
-            let output_rows = (outer_rows
-                * inner.rows
-                * inner.predicates_sel
-                * join_sel)
-                .max(1.0);
+            let output_rows = (outer_rows * inner.rows * inner.predicates_sel * join_sel).max(1.0);
 
             // Option 1: hash join over the inner base plan.
             let hash_cost = inner.base_plan.cost
@@ -399,7 +398,12 @@ mod tests {
         let q = join_query(&f);
         let without = cost_select(&ctx, &q, &IndexSet::empty());
         let with = cost_select(&ctx, &q, &IndexSet::single(f.idx_l_orderkey));
-        assert!(with.cost < without.cost, "{} vs {}", with.cost, without.cost);
+        assert!(
+            with.cost < without.cost,
+            "{} vs {}",
+            with.cost,
+            without.cost
+        );
         assert!(with.used_indexes.contains(&f.idx_l_orderkey));
         assert!(with.description.contains("IndexNLJoin"));
     }

@@ -51,10 +51,7 @@ pub fn cost_update(ctx: &CostContext<'_>, stmt: &UpdateStmt, config: &IndexSet) 
     // column must be maintained.
     for &idx in &available {
         let def = ctx.registry.def(idx);
-        let touches_modified = def
-            .key_columns
-            .iter()
-            .any(|c| stmt.set_columns.contains(c));
+        let touches_modified = def.key_columns.iter().any(|c| stmt.set_columns.contains(c));
         if touches_modified {
             cost += affected * ctx.config.index_maintenance_row_cost;
             if !used.contains(&idx) {

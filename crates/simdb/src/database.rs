@@ -102,12 +102,11 @@ impl Database {
     /// What-if optimization: cost of `stmt` under hypothetical configuration
     /// `config`.  Results are cached per `(statement, configuration)`.
     pub fn whatif_cost(&self, stmt: &Statement, config: &IndexSet) -> PlanCost {
-        self.cache
-            .get_or_compute(stmt.fingerprint, config, || {
-                let registry = self.registry.read();
-                let optimizer = Optimizer::new(&self.catalog, &registry, &self.cost_config);
-                optimizer.cost(stmt, config)
-            })
+        self.cache.get_or_compute(stmt.fingerprint, config, || {
+            let registry = self.registry.read();
+            let optimizer = Optimizer::new(&self.catalog, &registry, &self.cost_config);
+            optimizer.cost(stmt, config)
+        })
     }
 
     /// Convenience: just the scalar cost.
@@ -164,7 +163,13 @@ mod tests {
         b.table("tpch.lineitem")
             .rows(6_000_000.0)
             .column("l_orderkey", DataType::Integer, 1_500_000.0)
-            .column_with_range("l_extendedprice", DataType::Decimal, 900_000.0, 900.0, 105_000.0)
+            .column_with_range(
+                "l_extendedprice",
+                DataType::Decimal,
+                900_000.0,
+                900.0,
+                105_000.0,
+            )
             .column("l_tax", DataType::Decimal, 9.0)
             .finish();
         b.table("tpch.orders")

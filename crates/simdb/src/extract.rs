@@ -119,9 +119,7 @@ fn relevant_columns(stmt: &Statement, table: TableId) -> RelevantColumns {
     for p in stmt.predicates().iter().filter(|p| p.table == table) {
         match p.kind {
             PredicateKind::Equality => push_unique(&mut eq_columns, p.column),
-            PredicateKind::Range | PredicateKind::Like => {
-                push_unique(&mut range_columns, p.column)
-            }
+            PredicateKind::Range | PredicateKind::Like => push_unique(&mut range_columns, p.column),
             PredicateKind::NotEqual => {}
         }
     }

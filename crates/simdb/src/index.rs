@@ -80,6 +80,16 @@ pub struct IndexSet {
     ids: Vec<IndexId>,
 }
 
+/// Build a configuration from an arbitrary iterator (deduplicates).
+impl FromIterator<IndexId> for IndexSet {
+    fn from_iter<I: IntoIterator<Item = IndexId>>(iter: I) -> Self {
+        let mut ids: Vec<IndexId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+}
+
 impl IndexSet {
     /// The empty configuration.
     pub fn empty() -> Self {
@@ -89,14 +99,6 @@ impl IndexSet {
     /// Configuration containing a single index.
     pub fn single(id: IndexId) -> Self {
         Self { ids: vec![id] }
-    }
-
-    /// Build a configuration from an arbitrary iterator (deduplicates).
-    pub fn from_iter<I: IntoIterator<Item = IndexId>>(iter: I) -> Self {
-        let mut ids: Vec<IndexId> = iter.into_iter().collect();
-        ids.sort_unstable();
-        ids.dedup();
-        Self { ids }
     }
 
     /// Number of indices in the configuration.
@@ -179,12 +181,6 @@ impl IndexSet {
     /// Access the underlying sorted slice of ids.
     pub fn as_slice(&self) -> &[IndexId] {
         &self.ids
-    }
-}
-
-impl FromIterator<IndexId> for IndexSet {
-    fn from_iter<T: IntoIterator<Item = IndexId>>(iter: T) -> Self {
-        IndexSet::from_iter(iter)
     }
 }
 
@@ -468,8 +464,7 @@ mod tests {
         let small = reg.intern(t2, vec![x]);
         let model = TransitionCostModel::default();
         assert!(
-            model.create_cost(&catalog, reg.def(big))
-                > model.create_cost(&catalog, reg.def(small))
+            model.create_cost(&catalog, reg.def(big)) > model.create_cost(&catalog, reg.def(small))
         );
         assert!(reg.def(big).pages(&catalog) > reg.def(small).pages(&catalog));
         assert!(reg.def(big).height(&catalog) >= 1.0);

@@ -78,7 +78,7 @@ impl JoinPredicate {
 }
 
 /// A bound `SELECT` statement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SelectStmt {
     /// Tables referenced by the query.
     pub tables: Vec<TableId>,
@@ -282,19 +282,6 @@ pub mod build {
         stmt: SelectStmt,
     }
 
-    impl Default for SelectStmt {
-        fn default() -> Self {
-            SelectStmt {
-                tables: Vec::new(),
-                predicates: Vec::new(),
-                joins: Vec::new(),
-                referenced_columns: Vec::new(),
-                order_by: Vec::new(),
-                group_by: Vec::new(),
-            }
-        }
-    }
-
     impl SelectBuilder {
         /// Add a table to the `FROM` list.
         pub fn table(mut self, t: TableId) -> Self {
@@ -467,7 +454,12 @@ mod tests {
     fn builder_dedups_tables_and_columns() {
         let t = TableId(0);
         let c = ColumnId(1);
-        let s = build::select().table(t).table(t).output(c).output(c).build();
+        let s = build::select()
+            .table(t)
+            .table(t)
+            .output(c)
+            .output(c)
+            .build();
         assert_eq!(s.tables().len(), 1);
         assert_eq!(s.referenced_columns().len(), 1);
     }

@@ -91,7 +91,11 @@ pub fn like(column: &ColumnMeta, pattern: &str) -> f64 {
         } else {
             // A literal prefix of length k behaves roughly like an equality on
             // the first k characters; fall off geometrically with the length.
-            clamp(0.25f64.powi(prefix_len.min(4) as i32).max(1.0 / column.distinct_values))
+            clamp(
+                0.25f64
+                    .powi(prefix_len.min(4) as i32)
+                    .max(1.0 / column.distinct_values),
+            )
         }
     } else {
         // No wildcard: effectively an equality.
@@ -199,7 +203,7 @@ mod tests {
             like(&c, "x%"),
             in_list(&c, 2),
         ] {
-            assert!(s >= MIN_SELECTIVITY && s <= 1.0, "{s}");
+            assert!((MIN_SELECTIVITY..=1.0).contains(&s), "{s}");
         }
     }
 

@@ -329,7 +329,13 @@ mod tests {
         b.table("tpch.lineitem")
             .rows(6_000_000.0)
             .column("l_orderkey", DataType::Integer, 1_500_000.0)
-            .column_with_range("l_extendedprice", DataType::Decimal, 900_000.0, 900.0, 105_000.0)
+            .column_with_range(
+                "l_extendedprice",
+                DataType::Decimal,
+                900_000.0,
+                900.0,
+                105_000.0,
+            )
             .column("l_tax", DataType::Decimal, 9.0)
             .finish();
         b.build()
@@ -416,8 +422,9 @@ mod tests {
 
     #[test]
     fn order_and_group_by_are_bound() {
-        let stmt =
-            bind("SELECT s_co_id FROM tpce.security WHERE s_pe > 10 GROUP BY s_co_id ORDER BY s_co_id");
+        let stmt = bind(
+            "SELECT s_co_id FROM tpce.security WHERE s_pe > 10 GROUP BY s_co_id ORDER BY s_co_id",
+        );
         let StatementKind::Select(sel) = &stmt.kind else {
             panic!()
         };

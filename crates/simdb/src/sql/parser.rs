@@ -210,9 +210,7 @@ impl Parser {
             let name = self.identifier("table name")?;
             // Optional alias: another identifier that is not a clause keyword.
             let alias = match self.peek() {
-                Some(TokenKind::Ident(s))
-                    if !is_clause_keyword(s) =>
-                {
+                Some(TokenKind::Ident(s)) if !is_clause_keyword(s) => {
                     let a = s.clone();
                     self.pos += 1;
                     Some(a)
@@ -243,7 +241,7 @@ impl Parser {
         loop {
             cols.push(self.identifier("column name")?);
             // optional ASC/DESC
-            if self.accept_keyword("asc") || self.accept_keyword("desc") {}
+            let _ = self.accept_keyword("asc") || self.accept_keyword("desc");
             if matches!(self.peek(), Some(TokenKind::Comma)) {
                 self.pos += 1;
             } else {
@@ -272,7 +270,9 @@ impl Parser {
         if self.accept_keyword("like") {
             let pattern = match self.literal()? {
                 Value::Str(s) => s,
-                other => return Err(self.error(&format!("LIKE pattern must be a string, got {other}"))),
+                other => {
+                    return Err(self.error(&format!("LIKE pattern must be a string, got {other}")))
+                }
             };
             return Ok(Condition::Like { column, pattern });
         }
@@ -507,7 +507,8 @@ mod tests {
 
     #[test]
     fn parses_select_with_projection_and_order() {
-        let sql = "SELECT a, b, sum(c) FROM t WHERE a = 5 AND b > 2 GROUP BY a, b ORDER BY a DESC, b";
+        let sql =
+            "SELECT a, b, sum(c) FROM t WHERE a = 5 AND b > 2 GROUP BY a, b ORDER BY a DESC, b";
         let AstStatement::Select(sel) = parse(sql).unwrap() else {
             panic!()
         };
@@ -523,7 +524,9 @@ mod tests {
         let AstStatement::Select(sel) = parse(sql).unwrap() else {
             panic!()
         };
-        assert!(matches!(&sel.conditions[0], Condition::InList { values, .. } if values.len() == 3));
+        assert!(
+            matches!(&sel.conditions[0], Condition::InList { values, .. } if values.len() == 3)
+        );
         assert!(matches!(&sel.conditions[1], Condition::Like { pattern, .. } if pattern == "abc%"));
     }
 
@@ -572,8 +575,7 @@ mod tests {
 
     #[test]
     fn update_multiple_set_columns() {
-        let AstStatement::Update(upd) =
-            parse("UPDATE t SET a = 1, b = b + 2 WHERE c = 3").unwrap()
+        let AstStatement::Update(upd) = parse("UPDATE t SET a = 1, b = b + 2 WHERE c = 3").unwrap()
         else {
             panic!()
         };

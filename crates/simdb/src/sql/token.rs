@@ -67,65 +67,110 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    position: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    position: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    position: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    position: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    position: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    position: start,
+                });
                 i += 1;
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
-                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        position: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] as char == '>' {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
-                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] as char == '=' {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 } else {
                     return Err(Error::Lex {
@@ -159,12 +204,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::String(s), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::String(s),
+                    position: start,
+                });
             }
             '0'..='9' => {
                 let mut end = i;
-                while end < bytes.len()
-                    && matches!(bytes[end] as char, '0'..='9' | '.' | 'e' | 'E')
+                while end < bytes.len() && matches!(bytes[end] as char, '0'..='9' | '.' | 'e' | 'E')
                 {
                     // Allow `1e-5` style exponents.
                     if matches!(bytes[end] as char, 'e' | 'E')
@@ -180,7 +227,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     position: start,
                     message: format!("invalid number: {text}"),
                 })?;
-                tokens.push(Token { kind: TokenKind::Number(value), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    position: start,
+                });
                 i = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
@@ -200,11 +250,17 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Ident(ident), position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    position: start,
+                });
                 i = end;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    position: start,
+                });
                 i += 1;
             }
             other => {

@@ -191,7 +191,7 @@ mod tests {
     fn string_to_numeric_bounded() {
         for s in ["", "z", "zzzzzzzzzzzz", "1812-08-05-03.21.02"] {
             let v = string_to_numeric(s);
-            assert!(v >= 0.0 && v <= 1e9);
+            assert!((0.0..=1e9).contains(&v));
         }
     }
 

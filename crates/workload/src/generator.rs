@@ -85,14 +85,46 @@ impl BenchmarkSpec {
 pub fn default_phases() -> Vec<PhaseSpec> {
     use Dataset::*;
     vec![
-        PhaseSpec { primary: TpcH, secondary: TpcC, update_fraction: 0.10 },
-        PhaseSpec { primary: TpcC, secondary: TpcE, update_fraction: 0.45 },
-        PhaseSpec { primary: TpcE, secondary: Nref, update_fraction: 0.15 },
-        PhaseSpec { primary: Nref, secondary: TpcH, update_fraction: 0.50 },
-        PhaseSpec { primary: TpcH, secondary: TpcE, update_fraction: 0.20 },
-        PhaseSpec { primary: TpcE, secondary: TpcC, update_fraction: 0.45 },
-        PhaseSpec { primary: TpcC, secondary: Nref, update_fraction: 0.25 },
-        PhaseSpec { primary: Nref, secondary: TpcH, update_fraction: 0.50 },
+        PhaseSpec {
+            primary: TpcH,
+            secondary: TpcC,
+            update_fraction: 0.10,
+        },
+        PhaseSpec {
+            primary: TpcC,
+            secondary: TpcE,
+            update_fraction: 0.45,
+        },
+        PhaseSpec {
+            primary: TpcE,
+            secondary: Nref,
+            update_fraction: 0.15,
+        },
+        PhaseSpec {
+            primary: Nref,
+            secondary: TpcH,
+            update_fraction: 0.50,
+        },
+        PhaseSpec {
+            primary: TpcH,
+            secondary: TpcE,
+            update_fraction: 0.20,
+        },
+        PhaseSpec {
+            primary: TpcE,
+            secondary: TpcC,
+            update_fraction: 0.45,
+        },
+        PhaseSpec {
+            primary: TpcC,
+            secondary: Nref,
+            update_fraction: 0.25,
+        },
+        PhaseSpec {
+            primary: Nref,
+            secondary: TpcH,
+            update_fraction: 0.50,
+        },
     ]
 }
 
@@ -212,7 +244,10 @@ mod tests {
     fn phases_have_the_requested_length_and_order() {
         let b = Benchmark::generate(BenchmarkSpec::small(25));
         assert_eq!(b.len(), 8 * 25);
-        assert_eq!(b.phase_boundaries(), vec![1, 26, 51, 76, 101, 126, 151, 176]);
+        assert_eq!(
+            b.phase_boundaries(),
+            vec![1, 26, 51, 76, 101, 126, 151, 176]
+        );
         assert_eq!(b.phase_of[0], 0);
         assert_eq!(*b.phase_of.last().unwrap(), 7);
     }
@@ -251,7 +286,10 @@ mod tests {
             total_candidates += b.db.extract_candidates(stmt).len();
         }
         assert!(total_candidates > 0);
-        assert!(b.db.all_indexes().len() > 20, "a rich candidate pool should be mined");
+        assert!(
+            b.db.all_indexes().len() > 20,
+            "a rich candidate pool should be mined"
+        );
     }
 
     #[test]

@@ -17,7 +17,13 @@ pub fn add_tpch(b: &mut CatalogBuilder) {
         .column("l_partkey", DataType::Integer, 20_000.0)
         .column("l_suppkey", DataType::Integer, 1_000.0)
         .column_with_range("l_quantity", DataType::Decimal, 50.0, 1.0, 50.0)
-        .column_with_range("l_extendedprice", DataType::Decimal, 500_000.0, 900.0, 105_000.0)
+        .column_with_range(
+            "l_extendedprice",
+            DataType::Decimal,
+            500_000.0,
+            900.0,
+            105_000.0,
+        )
         .column_with_range("l_discount", DataType::Decimal, 11.0, 0.0, 0.1)
         .column_with_range("l_tax", DataType::Decimal, 9.0, 0.0, 0.08)
         .column_with_range(
@@ -32,7 +38,13 @@ pub fn add_tpch(b: &mut CatalogBuilder) {
         .rows(150_000.0)
         .column("o_orderkey", DataType::Integer, 150_000.0)
         .column("o_custkey", DataType::Integer, 15_000.0)
-        .column_with_range("o_totalprice", DataType::Decimal, 140_000.0, 850.0, 560_000.0)
+        .column_with_range(
+            "o_totalprice",
+            DataType::Decimal,
+            140_000.0,
+            850.0,
+            560_000.0,
+        )
         .column_with_range(
             "o_orderdate",
             DataType::Date,
@@ -77,7 +89,13 @@ pub fn add_tpcc(b: &mut CatalogBuilder) {
         .column("c_id", DataType::Integer, 3_000.0)
         .column("c_w_id", DataType::Integer, 32.0)
         .column("c_d_id", DataType::Integer, 10.0)
-        .column_with_range("c_balance", DataType::Decimal, 50_000.0, -10_000.0, 50_000.0)
+        .column_with_range(
+            "c_balance",
+            DataType::Decimal,
+            50_000.0,
+            -10_000.0,
+            50_000.0,
+        )
         .column("c_last", DataType::Text, 1_000.0)
         .finish();
     b.table("tpcc.stock")
@@ -178,7 +196,13 @@ pub fn add_nref(b: &mut CatalogBuilder) {
         .rows(100_000.0)
         .column("p_id", DataType::Integer, 100_000.0)
         .column_with_range("p_seq_length", DataType::Integer, 5_000.0, 10.0, 40_000.0)
-        .column_with_range("p_mol_weight", DataType::Decimal, 90_000.0, 1_000.0, 4_000_000.0)
+        .column_with_range(
+            "p_mol_weight",
+            DataType::Decimal,
+            90_000.0,
+            1_000.0,
+            4_000_000.0,
+        )
         .column("p_taxon_id", DataType::Integer, 10_000.0)
         .finish();
     b.table("nref.neighboring_seq")

@@ -358,7 +358,10 @@ fn nref_update(rng: &mut StdRng) -> String {
         }
         _ => {
             let d1 = date(rng, 1995, 2000);
-            format!("DELETE FROM nref.annotation WHERE a_date < '{d1}' AND a_type = {}", rng.gen_range(1..=40))
+            format!(
+                "DELETE FROM nref.annotation WHERE a_date < '{d1}' AND a_type = {}",
+                rng.gen_range(1..=40)
+            )
         }
     }
 }

@@ -22,7 +22,10 @@ fn main() {
         tuner.analyze_query(stmt);
     }
     let first = tuner.recommend();
-    println!("WFIT recommends {} indices after 40 statements:", first.len());
+    println!(
+        "WFIT recommends {} indices after 40 statements:",
+        first.len()
+    );
     for idx in first.iter() {
         println!("  {}", db.index_name(idx));
     }
@@ -36,13 +39,20 @@ fn main() {
     let vetoed = it.next();
     if let (Some(acc), Some(veto)) = (accepted, vetoed) {
         println!();
-        println!("DBA creates {} and vetoes {}", db.index_name(acc), db.index_name(veto));
+        println!(
+            "DBA creates {} and vetoes {}",
+            db.index_name(acc),
+            db.index_name(veto)
+        );
         tuner.feedback(&IndexSet::single(acc), &IndexSet::single(veto));
         tuner.notify_materialized(IndexSet::single(acc));
         let after = tuner.recommend();
         assert!(after.contains(acc));
         assert!(!after.contains(veto));
-        println!("next recommendation honors both votes ({} indices)", after.len());
+        println!(
+            "next recommendation honors both votes ({} indices)",
+            after.len()
+        );
     }
 
     // Phase 3: keep tuning; the workload may eventually override the votes.

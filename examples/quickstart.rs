@@ -14,7 +14,13 @@ fn main() {
         .rows(2_000_000.0)
         .column("id", simdb::types::DataType::Integer, 2_000_000.0)
         .column("customer_id", simdb::types::DataType::Integer, 50_000.0)
-        .column_with_range("total", simdb::types::DataType::Decimal, 500_000.0, 1.0, 10_000.0)
+        .column_with_range(
+            "total",
+            simdb::types::DataType::Decimal,
+            500_000.0,
+            1.0,
+            10_000.0,
+        )
         .column("status", simdb::types::DataType::Integer, 6.0)
         .finish();
     builder
@@ -30,15 +36,18 @@ fn main() {
 
     // 3. Stream the workload through it (here: the same lookup repeated, plus
     //    a join and an update).
-    let workload = vec![
-        db.parse("SELECT total FROM app.orders WHERE customer_id = 4711").unwrap(),
-        db.parse("SELECT total FROM app.orders WHERE customer_id = 42").unwrap(),
+    let workload = [
+        db.parse("SELECT total FROM app.orders WHERE customer_id = 4711")
+            .unwrap(),
+        db.parse("SELECT total FROM app.orders WHERE customer_id = 42")
+            .unwrap(),
         db.parse(
             "SELECT count(*) FROM app.orders, app.customers \
              WHERE orders.customer_id = customers.customer_id AND region = 3 AND total > 9000",
         )
         .unwrap(),
-        db.parse("UPDATE app.orders SET status = 2 WHERE total BETWEEN 100 AND 110").unwrap(),
+        db.parse("UPDATE app.orders SET status = 2 WHERE total BETWEEN 100 AND 110")
+            .unwrap(),
     ];
     let mut repeated = Vec::new();
     for _ in 0..5 {
@@ -51,7 +60,10 @@ fn main() {
     // 4. Inspect the recommendation.
     let recommendation = tuner.recommend();
     println!("analyzed {} statements", result.len());
-    println!("total work (optimizer cost units): {:.0}", result.total_work);
+    println!(
+        "total work (optimizer cost units): {:.0}",
+        result.total_work
+    );
     println!("recommended indices:");
     for idx in recommendation.iter() {
         println!("  + {}", db.index_name(idx));

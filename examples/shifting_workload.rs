@@ -21,7 +21,12 @@ fn main() {
         selection.universe.len(),
         selection.partition.len()
     );
-    let opt = compute_optimal(db, &bench.statements, &selection.partition, &IndexSet::empty());
+    let opt = compute_optimal(
+        db,
+        &bench.statements,
+        &selection.partition,
+        &IndexSet::empty(),
+    );
 
     // Online advisors.
     let evaluator = Evaluator::new(db);

@@ -22,18 +22,31 @@ fn main() {
     println!("query: {sql}\n");
 
     let candidates = db.extract_candidates(&stmt);
-    println!("extractIndices(q) produced {} candidates:", candidates.len());
+    println!(
+        "extractIndices(q) produced {} candidates:",
+        candidates.len()
+    );
     for &c in &candidates {
-        println!("  {} (create cost {:.0})", db.index_name(c), db.create_cost(c));
+        println!(
+            "  {} (create cost {:.0})",
+            db.index_name(c),
+            db.create_cost(c)
+        );
     }
 
     println!();
     let empty = db.whatif_cost(&stmt, &IndexSet::empty());
-    println!("cost with no indexes:        {:>12.0}   [{}]", empty.total, empty.description);
+    println!(
+        "cost with no indexes:        {:>12.0}   [{}]",
+        empty.total, empty.description
+    );
 
     let all = IndexSet::from_iter(candidates.iter().copied());
     let full = db.whatif_cost(&stmt, &all);
-    println!("cost with all candidates:    {:>12.0}   [{}]", full.total, full.description);
+    println!(
+        "cost with all candidates:    {:>12.0}   [{}]",
+        full.total, full.description
+    );
     println!("indexes actually used:       {}", full.used_indexes.len());
 
     // Show an interaction: the benefit of one used index depends on another.
@@ -45,7 +58,11 @@ fn main() {
         let c_ab = db.cost(&stmt, &IndexSet::from_iter([a, b]));
         println!();
         println!("index interaction (degree of interaction basis):");
-        println!("  benefit({}) alone        = {:.0}", db.index_name(a), empty.total - c_a);
+        println!(
+            "  benefit({}) alone        = {:.0}",
+            db.index_name(a),
+            empty.total - c_a
+        );
         println!(
             "  benefit({}) given {} = {:.0}",
             db.index_name(a),
@@ -55,8 +72,5 @@ fn main() {
     }
 
     println!();
-    println!(
-        "what-if optimizer usage: {:?}",
-        db.whatif_stats()
-    );
+    println!("what-if optimizer usage: {:?}", db.whatif_stats());
 }

@@ -20,7 +20,12 @@ fn full_pipeline_wfit_beats_no_indexing_and_respects_opt_bound() {
 
     let selection = offline_selection(db, &bench.statements, &WfitConfig::default());
     assert!(!selection.candidates.is_empty());
-    let opt = compute_optimal(db, &bench.statements, &selection.partition, &IndexSet::empty());
+    let opt = compute_optimal(
+        db,
+        &bench.statements,
+        &selection.partition,
+        &IndexSet::empty(),
+    );
 
     let mut wfit = Wfit::with_fixed_partition(
         db,
@@ -82,7 +87,12 @@ fn good_feedback_does_not_hurt_and_consistency_holds() {
     let db = &bench.db;
     let evaluator = Evaluator::new(db);
     let selection = offline_selection(db, &bench.statements, &WfitConfig::default());
-    let opt = compute_optimal(db, &bench.statements, &selection.partition, &IndexSet::empty());
+    let opt = compute_optimal(
+        db,
+        &bench.statements,
+        &selection.partition,
+        &IndexSet::empty(),
+    );
     let good = good_feedback_stream(&opt);
 
     let mut base = Wfit::with_fixed_partition(
@@ -139,7 +149,12 @@ fn bad_feedback_recovers() {
     let db = &bench.db;
     let evaluator = Evaluator::new(db);
     let selection = offline_selection(db, &bench.statements, &WfitConfig::default());
-    let opt = compute_optimal(db, &bench.statements, &selection.partition, &IndexSet::empty());
+    let opt = compute_optimal(
+        db,
+        &bench.statements,
+        &selection.partition,
+        &IndexSet::empty(),
+    );
     let bad = good_feedback_stream(&opt).mirrored();
 
     let mut misled = Wfit::with_fixed_partition(
@@ -192,7 +207,12 @@ fn lagged_acceptance_changes_configuration_only_at_lag_points() {
     );
     for outcome in &run.outcomes {
         if outcome.transition_cost > 0.0 {
-            assert_eq!(outcome.position % 16, 0, "transition at {}", outcome.position);
+            assert_eq!(
+                outcome.position % 16,
+                0,
+                "transition at {}",
+                outcome.position
+            );
         }
     }
 }
@@ -207,7 +227,10 @@ fn auto_wfit_tracks_phase_shifts_and_repartitions() {
     assert_eq!(run.len(), bench.len());
     assert!(auto.monitored().len() <= WfitConfig::default().idx_cnt);
     assert!(auto.state_count() <= WfitConfig::default().state_cnt.max(4));
-    assert!(auto.repartition_count() > 0, "the partition should evolve with the workload");
+    assert!(
+        auto.repartition_count() > 0,
+        "the partition should evolve with the workload"
+    );
     assert!(auto.whatif_calls() > 0);
 }
 

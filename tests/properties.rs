@@ -43,10 +43,7 @@ fn additive_env(
     (env, stmts, ids)
 }
 
-fn savings_strategy(
-    n_indexes: usize,
-    n_stmts: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
+fn savings_strategy(n_indexes: usize, n_stmts: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     proptest::collection::vec(
         proptest::collection::vec(-20.0f64..40.0, n_stmts),
         n_indexes,
@@ -63,7 +60,7 @@ proptest! {
         let (env, stmts, ids) = additive_env(&savings, 200.0, 30.0);
         let singleton: Vec<Vec<IndexId>> = ids.iter().map(|&i| vec![i]).collect();
         let mut split = WfaPlus::new(&env, &singleton, &IndexSet::empty());
-        let mut joint = WfaPlus::new(&env, &[ids.clone()], &IndexSet::empty());
+        let mut joint = WfaPlus::new(&env, std::slice::from_ref(&ids), &IndexSet::empty());
         for q in &stmts {
             split.analyze_query(q);
             joint.analyze_query(q);
@@ -177,7 +174,7 @@ proptest! {
     fn recommendations_stay_within_candidates(savings in savings_strategy(3, 5)) {
         let (env, stmts, ids) = additive_env(&savings, 90.0, 10.0);
         let candidate_set = IndexSet::from_iter(ids.iter().copied());
-        let mut advisor = WfaPlus::new(&env, &[ids.clone()], &IndexSet::empty());
+        let mut advisor = WfaPlus::new(&env, std::slice::from_ref(&ids), &IndexSet::empty());
         for q in &stmts {
             advisor.analyze_query(q);
             prop_assert!(advisor.recommend().is_subset_of(&candidate_set));

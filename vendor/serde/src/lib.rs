@@ -1,0 +1,20 @@
+//! Stub of the `serde` façade: the two traits exist (blanket-implemented for
+//! every type) so that `#[derive(Serialize, Deserialize)]` and `T: Serialize`
+//! bounds compile; no actual serialization is performed. See
+//! `vendor/README.md` for why this workspace vendors its dependencies.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias mirroring `serde::de::DeserializeOwned`.
+pub mod de {
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T {}
+}

@@ -1,0 +1,17 @@
+//! No-op derive macros for the vendored [`serde`] stub.
+//!
+//! The real derives generate `Serialize`/`Deserialize` impls; here the traits
+//! are blanket-implemented for every type (see `vendor/serde`), so the
+//! derives only need to exist and emit nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
