@@ -41,6 +41,7 @@ pub struct BruchoChaudhuriAdvisor<'e, E: TuningEnv> {
     candidates: Vec<IndexId>,
     accounts: HashMap<IndexId, Account>,
     statements: u64,
+    whatif_calls: u64,
 }
 
 impl<'e, E: TuningEnv> BruchoChaudhuriAdvisor<'e, E> {
@@ -65,12 +66,19 @@ impl<'e, E: TuningEnv> BruchoChaudhuriAdvisor<'e, E> {
             candidates,
             accounts,
             statements: 0,
+            whatif_calls: 0,
         }
     }
 
     /// Number of statements analyzed.
     pub fn statements_analyzed(&self) -> u64 {
         self.statements
+    }
+
+    /// Cumulative number of what-if optimizer calls issued through the IBGs
+    /// built during analysis.
+    pub fn whatif_calls(&self) -> u64 {
+        self.whatif_calls
     }
 
     /// The candidate set this advisor selects from.
@@ -84,6 +92,7 @@ impl<'e, E: TuningEnv> IndexAdvisor for BruchoChaudhuriAdvisor<'e, E> {
         self.statements += 1;
         let all = IndexSet::from_iter(self.candidates.iter().copied());
         let ibg = IndexBenefitGraph::build(all, |cfg| self.env.whatif(stmt, cfg));
+        self.whatif_calls += ibg.whatif_calls() as u64;
 
         for i in 0..self.candidates.len() {
             let id = self.candidates[i];

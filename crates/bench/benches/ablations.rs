@@ -1,52 +1,18 @@
-//! Ablation studies beyond the paper's figures (called out in DESIGN.md):
+//! Ablation studies beyond the paper's figures:
 //!
 //! * `histSize` sensitivity — how the statistics window affects AUTO WFIT;
 //! * `idxCnt` sensitivity — how the candidate budget affects AUTO WFIT;
 //! * randomized vs. baseline-only `choosePartition` (`RAND_CNT = 0`).
 
-use bench::{summary_line, Experiment};
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::RunOptions;
-use wfit_core::wfit::Wfit;
+use bench::{phase_len_from_env, print_summaries, run_scenario, scenarios};
 
 fn main() {
-    let experiment = Experiment::prepare();
-    let options = RunOptions::default();
-
-    println!("=== Ablation: histSize (AUTO WFIT) ===");
-    for hist in [10usize, 100, 400] {
-        let config = WfitConfig {
-            hist_size: hist,
-            ..WfitConfig::default()
-        };
-        let mut advisor = Wfit::new(&experiment.bench.db, config).with_name(format!("hist={hist}"));
-        let run = experiment.run(&mut advisor, &options);
-        println!("{}", summary_line(&experiment, &run));
-    }
-
-    println!();
-    println!("=== Ablation: idxCnt (AUTO WFIT) ===");
-    for idx_cnt in [10usize, 20, 40] {
-        let config = WfitConfig {
-            idx_cnt,
-            ..WfitConfig::default()
-        };
-        let mut advisor =
-            Wfit::new(&experiment.bench.db, config).with_name(format!("idxCnt={idx_cnt}"));
-        let run = experiment.run(&mut advisor, &options);
-        println!("{}", summary_line(&experiment, &run));
-    }
-
-    println!();
-    println!("=== Ablation: choosePartition randomization (AUTO WFIT) ===");
-    for rand_cnt in [0usize, 8, 32] {
-        let config = WfitConfig {
-            rand_cnt,
-            ..WfitConfig::default()
-        };
-        let mut advisor =
-            Wfit::new(&experiment.bench.db, config).with_name(format!("rand={rand_cnt}"));
-        let run = experiment.run(&mut advisor, &options);
-        println!("{}", summary_line(&experiment, &run));
+    let phase_len = phase_len_from_env();
+    for spec in scenarios::ablations(phase_len) {
+        let title = spec.name.clone();
+        let report = run_scenario(spec);
+        println!();
+        println!("=== Ablation: {title} (AUTO WFIT) ===");
+        print_summaries(&report);
     }
 }

@@ -5,43 +5,12 @@
 //! feedback stream.  The paper's point: even with badly distorted internal
 //! statistics, good DBA feedback significantly improves the recommendations.
 
-use advisors::good_feedback_stream;
-use bench::{print_table, summary_line, Experiment};
-use simdb::index::IndexSet;
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::RunOptions;
-use wfit_core::wfit::Wfit;
+use bench::{phase_len_from_env, print_report, run_scenario, scenarios};
 
 fn main() {
-    let experiment = Experiment::prepare();
-    let good = good_feedback_stream(&experiment.opt);
-
-    let mut series = Vec::new();
-    let mut runs = Vec::new();
-    for (label, feedback) in [("GOOD-IND", Some(good)), ("WFIT-IND", None)] {
-        let mut advisor = Wfit::with_fixed_partition(
-            &experiment.bench.db,
-            WfitConfig::independent(),
-            experiment.independent_partition(),
-            IndexSet::empty(),
-        )
-        .with_name(label);
-        let options = RunOptions {
-            feedback: feedback.unwrap_or_default(),
-            ..RunOptions::default()
-        };
-        let run = experiment.run(&mut advisor, &options);
-        series.push((label.to_string(), experiment.ratio_series(&run)));
-        runs.push(run);
-    }
-
-    print_table(
+    let report = run_scenario(scenarios::fig10(phase_len_from_env()));
+    print_report(
         "Figure 10: Feedback under the index-independence assumption",
-        &experiment.checkpoints(),
-        &series,
+        &report,
     );
-    println!();
-    for run in &runs {
-        println!("{}", summary_line(&experiment, run));
-    }
 }

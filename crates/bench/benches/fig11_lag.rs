@@ -6,51 +6,12 @@
 //! with the lag but does not keep degrading as the lag grows, staying well
 //! above the no-index baseline.
 
-use bench::{print_table, summary_line, Experiment};
-use simdb::index::IndexSet;
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::{AcceptancePolicy, RunOptions};
-use wfit_core::wfit::Wfit;
+use bench::{phase_len_from_env, print_report, run_scenario, scenarios};
 
 fn main() {
-    let experiment = Experiment::prepare();
-    let mut series = Vec::new();
-    let mut runs = Vec::new();
-
-    for lag in [1usize, 25, 50, 75] {
-        let label = if lag == 1 {
-            "WFIT".to_string()
-        } else {
-            format!("LAG {lag}")
-        };
-        let mut advisor = Wfit::with_fixed_partition(
-            &experiment.bench.db,
-            WfitConfig::default(),
-            experiment.selection.partition.clone(),
-            IndexSet::empty(),
-        )
-        .with_name(label.clone());
-        let options = RunOptions {
-            acceptance: if lag == 1 {
-                AcceptancePolicy::Immediate
-            } else {
-                AcceptancePolicy::EveryT(lag)
-            },
-            implicit_feedback_on_accept: lag > 1,
-            ..RunOptions::default()
-        };
-        let run = experiment.run(&mut advisor, &options);
-        series.push((label, experiment.ratio_series(&run)));
-        runs.push(run);
-    }
-
-    print_table(
+    let report = run_scenario(scenarios::fig11(phase_len_from_env()));
+    print_report(
         "Figure 11: Effect of delayed responses (Total Work Ratio, OPT = 1)",
-        &experiment.checkpoints(),
-        &series,
+        &report,
     );
-    println!();
-    for run in &runs {
-        println!("{}", summary_line(&experiment, run));
-    }
 }

@@ -7,48 +7,18 @@
 //! OPT in the early read-mostly phases because it specializes its candidates
 //! per phase.
 
-use bench::{print_table, summary_line, Experiment};
-use simdb::index::IndexSet;
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::RunOptions;
-use wfit_core::wfit::Wfit;
+use bench::{phase_len_from_env, print_report, run_scenario, scenarios};
 
 fn main() {
-    let experiment = Experiment::prepare();
-    let options = RunOptions::default();
-    let mut series = Vec::new();
-    let mut runs = Vec::new();
-
-    let mut auto = Wfit::new(&experiment.bench.db, WfitConfig::default()).with_name("AUTO");
-    let run = experiment.run(&mut auto, &options);
-    series.push(("AUTO".to_string(), experiment.ratio_series(&run)));
-    println!(
-        "AUTO: mined {} candidates, repartitioned {} times, {} what-if calls over {} statements",
-        auto.monitored().len(),
-        auto.repartition_count(),
-        auto.whatif_calls(),
-        auto.statements_analyzed()
-    );
-    runs.push(run);
-
-    let mut fixed = Wfit::with_fixed_partition(
-        &experiment.bench.db,
-        WfitConfig::default(),
-        experiment.selection.partition.clone(),
-        IndexSet::empty(),
-    )
-    .with_name("FIXED");
-    let run = experiment.run(&mut fixed, &options);
-    series.push(("FIXED".to_string(), experiment.ratio_series(&run)));
-    runs.push(run);
-
-    print_table(
-        "Figure 12: Automatic maintenance of the stable partition",
-        &experiment.checkpoints(),
-        &series,
-    );
-    println!();
-    for run in &runs {
-        println!("{}", summary_line(&experiment, run));
+    let report = run_scenario(scenarios::fig12(phase_len_from_env()));
+    if let Some(auto) = report.cell("AUTO") {
+        println!(
+            "AUTO: monitors {} candidates, repartitioned {} times, {} what-if calls over {} statements",
+            auto.monitored, auto.repartitions, auto.whatif_calls, report.statements
+        );
     }
+    print_report(
+        "Figure 12: Automatic maintenance of the stable partition",
+        &report,
+    );
 }

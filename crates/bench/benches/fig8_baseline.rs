@@ -8,67 +8,12 @@
 //! with WFIT reaching > 0.9 of OPT by the end of the workload and BC around
 //! 0.65.
 
-use advisors::BruchoChaudhuriAdvisor;
-use bench::{print_table, summary_line, Experiment};
-use simdb::index::IndexSet;
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::RunOptions;
-use wfit_core::wfit::Wfit;
+use bench::{phase_len_from_env, print_report, run_scenario, scenarios};
 
 fn main() {
-    let experiment = Experiment::prepare();
-    let options = RunOptions::default();
-    let mut series = Vec::new();
-    let mut runs = Vec::new();
-
-    for state_cnt in [2000u64, 500, 100] {
-        let selection = if state_cnt == 500 {
-            experiment.selection.partition.clone()
-        } else {
-            experiment.selection_for_state_cnt(state_cnt).partition
-        };
-        let mut wfit = Wfit::with_fixed_partition(
-            &experiment.bench.db,
-            WfitConfig::with_state_cnt(state_cnt),
-            selection,
-            IndexSet::empty(),
-        )
-        .with_name(format!("WFIT-{state_cnt}"));
-        let run = experiment.run(&mut wfit, &options);
-        series.push((run.advisor.clone(), experiment.ratio_series(&run)));
-        runs.push(run);
-    }
-
-    // WFIT-IND: every index in its own part.
-    let mut ind = Wfit::with_fixed_partition(
-        &experiment.bench.db,
-        WfitConfig::independent(),
-        experiment.independent_partition(),
-        IndexSet::empty(),
-    )
-    .with_name("WFIT-IND");
-    let run = experiment.run(&mut ind, &options);
-    series.push((run.advisor.clone(), experiment.ratio_series(&run)));
-    runs.push(run);
-
-    // BC over the same candidate set.
-    let mut bc = BruchoChaudhuriAdvisor::new(
-        &experiment.bench.db,
-        experiment.selection.candidates.clone(),
-        &IndexSet::empty(),
-    );
-    let run = experiment.run(&mut bc, &options);
-    series.push((run.advisor.clone(), experiment.ratio_series(&run)));
-    runs.push(run);
-
-    print_table(
+    let report = run_scenario(scenarios::fig8(phase_len_from_env()));
+    print_report(
         "Figure 8: Total Work Ratio (OPT = 1), fixed partition, no feedback",
-        &experiment.checkpoints(),
-        &series,
+        &report,
     );
-    println!();
-    println!("OPT          totalWork = {:>14.0}", experiment.opt.total);
-    for run in &runs {
-        println!("{}", summary_line(&experiment, run));
-    }
 }

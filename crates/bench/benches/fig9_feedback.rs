@@ -6,44 +6,12 @@
 //! votes).  Expected shape: GOOD ≥ WFIT ≥ BAD, with BAD still recovering to
 //! a high fraction of OPT by the end of the workload.
 
-use advisors::good_feedback_stream;
-use bench::{print_table, summary_line, Experiment};
-use simdb::index::IndexSet;
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::RunOptions;
-use wfit_core::wfit::Wfit;
+use bench::{phase_len_from_env, print_report, run_scenario, scenarios};
 
 fn main() {
-    let experiment = Experiment::prepare();
-    let good = good_feedback_stream(&experiment.opt);
-    let bad = good.mirrored();
-
-    let mut series = Vec::new();
-    let mut runs = Vec::new();
-    for (label, feedback) in [("GOOD", Some(good)), ("WFIT", None), ("BAD", Some(bad))] {
-        let mut advisor = Wfit::with_fixed_partition(
-            &experiment.bench.db,
-            WfitConfig::default(),
-            experiment.selection.partition.clone(),
-            IndexSet::empty(),
-        )
-        .with_name(label);
-        let options = RunOptions {
-            feedback: feedback.unwrap_or_default(),
-            ..RunOptions::default()
-        };
-        let run = experiment.run(&mut advisor, &options);
-        series.push((label.to_string(), experiment.ratio_series(&run)));
-        runs.push(run);
-    }
-
-    print_table(
+    let report = run_scenario(scenarios::fig9(phase_len_from_env()));
+    print_report(
         "Figure 9: Effect of DBA feedback (Total Work Ratio, OPT = 1)",
-        &experiment.checkpoints(),
-        &series,
+        &report,
     );
-    println!();
-    for run in &runs {
-        println!("{}", summary_line(&experiment, run));
-    }
 }

@@ -4,61 +4,39 @@
 //! (ii) the number of what-if optimizer calls per statement (5–100), and
 //! (iii) the reduction in overhead when `stateCnt` is lowered (×25 going from
 //! 500 to 100).  This bench reproduces all three measurements on the
-//! simulated substrate.
+//! simulated substrate from a single harness scenario: the per-cell wall
+//! time, what-if call count and tracked-state count all come straight out of
+//! the `RunReport`.  Cells run **sequentially** here — wall-clock time is the
+//! quantity under study, and parallel cells would time-slice against each
+//! other and contend on the shared what-if cache.
 
-use bench::Experiment;
-use simdb::index::IndexSet;
-use std::time::Instant;
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::RunOptions;
-use wfit_core::wfit::Wfit;
+use bench::{phase_len_from_env, scenarios, ScenarioContext};
 
 fn main() {
-    let experiment = Experiment::prepare();
-    let n = experiment.bench.len() as f64;
+    let report =
+        ScenarioContext::prepare(scenarios::overhead(phase_len_from_env())).run_sequential();
+    let n = report.statements as f64;
     println!("=== Overhead (Section 6.2) ===");
     println!(
         "{:>10} {:>16} {:>20} {:>20}",
-        "stateCnt", "analysis ms/stmt", "what-if calls/stmt", "states tracked"
+        "cell", "analysis ms/stmt", "what-if calls/stmt", "states tracked"
     );
-
-    for state_cnt in [2000u64, 500, 100] {
-        let partition = if state_cnt == 500 {
-            experiment.selection.partition.clone()
-        } else {
-            experiment.selection_for_state_cnt(state_cnt).partition
-        };
-        experiment.bench.db.reset_whatif_stats();
-        let mut wfit = Wfit::with_fixed_partition(
-            &experiment.bench.db,
-            WfitConfig::with_state_cnt(state_cnt),
-            partition,
-            IndexSet::empty(),
-        );
-        let start = Instant::now();
-        let _ = experiment.run(&mut wfit, &RunOptions::default());
-        let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-        let stats = experiment.bench.db.whatif_stats();
+    for cell in &report.cells {
         println!(
             "{:>10} {:>16.3} {:>20.1} {:>20}",
-            state_cnt,
-            elapsed / n,
-            stats.optimizer_calls as f64 / n,
-            wfit.state_count()
+            cell.label,
+            cell.wall_time_ms / n,
+            cell.whatif_calls as f64 / n,
+            cell.states_tracked
         );
     }
-
-    // Full WFIT (AUTO) what-if call profile.
-    experiment.bench.db.reset_whatif_stats();
-    let mut auto = Wfit::new(&experiment.bench.db, WfitConfig::default());
-    let start = Instant::now();
-    let _ = experiment.run(&mut auto, &RunOptions::default());
-    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-    println!();
-    println!(
-        "AUTO (chooseCands on): {:.3} ms/stmt, {:.1} IBG what-if calls/stmt, {} repartitions",
-        elapsed / n,
-        auto.whatif_calls() as f64 / n,
-        auto.repartition_count()
-    );
+    if let Some(auto) = report.cell("AUTO") {
+        println!();
+        println!(
+            "AUTO (chooseCands on): {:.3} ms/stmt, {:.1} IBG what-if calls/stmt, {} repartitions",
+            auto.wall_time_ms / n,
+            auto.whatif_calls as f64 / n,
+            auto.repartitions
+        );
+    }
 }

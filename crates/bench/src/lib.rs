@@ -1,178 +1,112 @@
-//! Shared experiment harness for reproducing the figures of
+//! Bench entry-point helpers for reproducing the figures of
 //! *Semi-Automatic Index Tuning: Keeping DBAs in the Loop*.
 //!
-//! Every `benches/figNN_*.rs` target builds on this crate: it generates the
-//! eight-phase benchmark workload, mines the fixed candidate set and stable
-//! partition offline (Section 6.1), computes the OPT oracle, runs the
-//! competing advisors and prints the "Total Work Ratio (OPT = 1)" series the
-//! paper plots.
+//! The actual experiment machinery lives in the [`harness`] crate: every
+//! `benches/figNN_*.rs` target is a thin wrapper that builds the matching
+//! declarative scenario from [`harness::scenarios`], replays it (advisor
+//! cells run in parallel) and prints the "Total Work Ratio (OPT = 1)" series
+//! the paper plots.
 //!
-//! The workload size is controlled by the `WFIT_PHASE_LEN` environment
-//! variable (statements per phase; the paper uses 200, the default here is a
-//! faster 60 so that `cargo bench` completes in minutes).  Set
-//! `WFIT_PHASE_LEN=200` to reproduce the paper-scale runs.
+//! The **only** place the `WFIT_PHASE_LEN` environment variable is read is
+//! [`phase_len_from_env`], called once at each bench's `main` — the harness
+//! itself takes the phase length as an explicit [`ScenarioSpec`] field, so
+//! tests and concurrent scenarios can never race on process-global state.
+//! The paper uses 200 statements per phase; the default here is a faster 60
+//! so that `cargo bench` completes in minutes.  Set `WFIT_PHASE_LEN=200` to
+//! reproduce the paper-scale runs.
 
-use advisors::opt::{compute_optimal, OptSchedule};
-use ibg::partition::Partition;
-use simdb::index::IndexSet;
-use wfit_core::candidates::{offline_selection, OfflineSelection};
-use wfit_core::config::WfitConfig;
-use wfit_core::evaluator::{Evaluator, RunOptions, RunResult};
-use wfit_core::IndexAdvisor;
-use workload::{Benchmark, BenchmarkSpec};
+pub use harness::{
+    run_scenario, scenarios, AdvisorSpec, CellReport, CellSpec, FeedbackSpec, RunReport,
+    ScenarioContext, ScenarioSpec,
+};
 
-/// Number of statements per phase used by the harness (see the crate docs).
-pub fn phase_len() -> usize {
+/// Statements per phase for a bench run: the `WFIT_PHASE_LEN` override, or
+/// 60.  Benches call this once at their entry point and pass the result down
+/// explicitly; nothing below the entry points reads the environment.
+pub fn phase_len_from_env() -> usize {
     std::env::var("WFIT_PHASE_LEN")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(60)
 }
 
-/// A fully prepared experiment: workload, fixed candidate selection per
-/// `stateCnt`, and the OPT reference curve.
-pub struct Experiment {
-    /// The generated benchmark (database + workload).
-    pub bench: Benchmark,
-    /// The offline candidate selection and stable partition for the default
-    /// `stateCnt = 500`.
-    pub selection: OfflineSelection,
-    /// The OPT oracle computed over the default selection.
-    pub opt: OptSchedule,
-}
-
-impl Experiment {
-    /// Build the experiment for the configured workload size.
-    pub fn prepare() -> Self {
-        Self::prepare_with_state_cnt(500)
-    }
-
-    /// Build the experiment with a specific `stateCnt` for the fixed
-    /// partition.
-    pub fn prepare_with_state_cnt(state_cnt: u64) -> Self {
-        let bench = Benchmark::generate(BenchmarkSpec::small(phase_len()));
-        let config = WfitConfig::with_state_cnt(state_cnt);
-        let selection = offline_selection(&bench.db, &bench.statements, &config);
-        let opt = compute_optimal(
-            &bench.db,
-            &bench.statements,
-            &selection.partition,
-            &IndexSet::empty(),
-        );
-        Self {
-            bench,
-            selection,
-            opt,
-        }
-    }
-
-    /// Mine a fixed partition for a different `stateCnt` over the same
-    /// workload (used by Figure 8's `WFIT-2000` / `WFIT-100` variants).
-    pub fn selection_for_state_cnt(&self, state_cnt: u64) -> OfflineSelection {
-        let config = WfitConfig::with_state_cnt(state_cnt);
-        offline_selection(&self.bench.db, &self.bench.statements, &config)
-    }
-
-    /// The singleton (full independence) partition over the default candidate
-    /// set, used by the WFIT-IND variants.
-    pub fn independent_partition(&self) -> Partition {
-        self.selection.candidates.iter().map(|&c| vec![c]).collect()
-    }
-
-    /// Run an advisor over the workload and return its result.
-    pub fn run<A: IndexAdvisor>(&self, advisor: &mut A, options: &RunOptions) -> RunResult {
-        let evaluator = Evaluator::new(&self.bench.db);
-        evaluator.run(advisor, &self.bench.statements, options)
-    }
-
-    /// Checkpoint positions (x-axis of the figures): every eighth of the
-    /// workload plus the final statement.
-    pub fn checkpoints(&self) -> Vec<usize> {
-        let n = self.bench.len();
-        let mut points: Vec<usize> = (1..=8).map(|i| i * n / 8).collect();
-        points.dedup();
-        if *points.last().unwrap_or(&0) != n {
-            points.push(n);
-        }
-        points
-    }
-
-    /// The paper's performance metric at a checkpoint:
-    /// `totWork(OPT, Q_n) / totWork(A, Q_n)` (1.0 means optimal).
-    pub fn ratio_at(&self, run: &RunResult, n: usize) -> f64 {
-        let alg = run.cumulative_at(n);
-        if alg <= 0.0 {
-            return 1.0;
-        }
-        self.opt.cumulative_at(n) / alg
-    }
-
-    /// Ratio series over the checkpoints.
-    pub fn ratio_series(&self, run: &RunResult) -> Vec<(usize, f64)> {
-        self.checkpoints()
-            .into_iter()
-            .map(|n| (n, self.ratio_at(run, n)))
-            .collect()
-    }
-}
-
-/// Print a figure-style table: one row per checkpoint, one column per series.
-pub fn print_table(title: &str, checkpoints: &[usize], series: &[(String, Vec<(usize, f64)>)]) {
+/// Print a figure-style table for a scenario report: one row per checkpoint,
+/// one column per cell, followed by the OPT total and per-cell summaries.
+pub fn print_report(title: &str, report: &RunReport) {
     println!();
     println!("=== {title} ===");
     print!("{:>8}", "query#");
-    for (name, _) in series {
-        print!("{name:>14}");
+    for cell in &report.cells {
+        print!("{:>14}", cell.label);
     }
     println!();
-    for (row, &cp) in checkpoints.iter().enumerate() {
+    for (row, &cp) in report.checkpoints.iter().enumerate() {
         print!("{cp:>8}");
-        for (_, values) in series {
-            let v = values.get(row).map(|(_, r)| *r).unwrap_or(f64::NAN);
+        for cell in &report.cells {
+            let v = cell
+                .ratio_series
+                .get(row)
+                .map(|(_, r)| *r)
+                .unwrap_or(f64::NAN);
             print!("{v:>14.3}");
         }
         println!();
     }
+    println!();
+    println!("OPT          totalWork = {:>14.0}", report.opt_total);
+    print_summaries(report);
 }
 
-/// Pretty print a short summary line for a run.
-pub fn summary_line(experiment: &Experiment, run: &RunResult) -> String {
-    let n = experiment.bench.len();
+/// Print one summary line per cell of a report.
+pub fn print_summaries(report: &RunReport) {
+    for cell in &report.cells {
+        println!("{}", summary_line(cell));
+    }
+}
+
+/// The classic one-line cell summary used by every figure bench.
+pub fn summary_line(cell: &CellReport) -> String {
     format!(
         "{:<12} totalWork = {:>14.0}   OPT-ratio = {:.3}",
-        run.advisor,
-        run.total_work,
-        experiment.ratio_at(run, n)
+        cell.label, cell.total_work, cell.opt_ratio
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use wfit_core::wfit::Wfit;
 
     #[test]
-    fn harness_smoke_test() {
-        // A tiny workload end to end: selection, OPT and a WFIT run.
-        std::env::set_var("WFIT_PHASE_LEN", "3");
-        let experiment = Experiment::prepare();
-        assert_eq!(experiment.bench.len(), 24);
-        assert!(!experiment.selection.candidates.is_empty());
-        assert!(experiment.opt.total > 0.0);
-
-        let mut wfit = Wfit::with_fixed_partition(
-            &experiment.bench.db,
-            WfitConfig::default(),
-            experiment.selection.partition.clone(),
-            IndexSet::empty(),
+    fn mini_scenario_end_to_end_without_env_vars() {
+        // The phase length is an explicit parameter: no env-var writes, so
+        // this test cannot race with anything else in the process.
+        let report = run_scenario(
+            ScenarioSpec::new("bench-smoke", 3)
+                .cell(CellSpec::new(
+                    "WFIT",
+                    AdvisorSpec::WfitFixed { state_cnt: 500 },
+                ))
+                .cell(CellSpec::new("BC", AdvisorSpec::Bc)),
         );
-        let run = experiment.run(&mut wfit, &RunOptions::default());
-        assert_eq!(run.len(), 24);
-        let ratio = experiment.ratio_at(&run, 24);
-        assert!(ratio > 0.0 && ratio <= 1.05, "ratio {ratio}");
-        let series = experiment.ratio_series(&run);
-        assert_eq!(series.len(), experiment.checkpoints().len());
-        println!("{}", summary_line(&experiment, &run));
-        std::env::remove_var("WFIT_PHASE_LEN");
+        assert_eq!(report.statements, 24);
+        assert!(report.opt_total > 0.0);
+        let wfit = report.cell("WFIT").unwrap();
+        assert!(wfit.opt_ratio > 0.0 && wfit.opt_ratio <= 1.05);
+        assert_eq!(
+            report.checkpoints.len(),
+            wfit.ratio_series.len(),
+            "one ratio per checkpoint"
+        );
+        let line = summary_line(wfit);
+        assert!(line.contains("WFIT") && line.contains("OPT-ratio"));
+        print_report("smoke", &report);
+    }
+
+    #[test]
+    fn phase_len_default_is_sixty() {
+        // The variable is only consulted here, at the bench edge.
+        if std::env::var("WFIT_PHASE_LEN").is_err() {
+            assert_eq!(phase_len_from_env(), 60);
+        }
     }
 }

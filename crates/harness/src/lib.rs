@@ -1,0 +1,42 @@
+//! # harness — deterministic scenario replay for the WFIT reproduction
+//!
+//! The experiment subsystem every figure bench and regression test builds
+//! on.  A declarative [`ScenarioSpec`] (workload phases, drift, update
+//! fractions, seeded RNG, scripted DBA-feedback events, advisor fleet) is
+//! replayed deterministically by [`ScenarioContext`], producing a structured
+//! [`RunReport`] — total-work ratio vs. OPT, transition cost, what-if calls,
+//! repartitions, recommendation churn, wall time — serializable to JSON for
+//! golden-run regression testing.
+//!
+//! Design rules:
+//!
+//! * **No process-global state.** The workload phase length and seed are
+//!   explicit spec fields; the harness never reads environment variables, so
+//!   concurrent scenarios cannot race (the benches read `WFIT_PHASE_LEN`
+//!   once, at their own entry points).
+//! * **Deterministic replay.** All id-interning and offline analysis happens
+//!   single-threaded in [`ScenarioContext::prepare`]; the independent
+//!   (advisor × options) cells then run in parallel with
+//!   `std::thread::scope`, each owning its advisor and RNG, so thread
+//!   interleaving never changes a reported metric.  Identical specs render
+//!   byte-identical [`RunReport::to_json`] output.
+//! * **Offline-friendly JSON.** The vendored `serde` stub cannot serialize,
+//!   so the [`json`] module provides a small deterministic writer/parser and
+//!   a tolerance-aware diff for golden files.
+//!
+//! The canonical scenarios (the paper's Figures 8–12, overhead, ablations,
+//! and the miniature golden variants) live in [`scenarios`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+pub mod spec;
+
+pub use json::Json;
+pub use report::{CellReport, RunReport};
+pub use runner::{run_scenario, ScenarioContext};
+pub use spec::{AcceptanceSpec, AdvisorSpec, CellSpec, FeedbackEvent, FeedbackSpec, ScenarioSpec};

@@ -1,0 +1,221 @@
+//! Structured run reports and golden-file comparison.
+//!
+//! A [`RunReport`] captures everything the paper's evaluation plots or
+//! tabulates — total-work ratio vs. OPT at checkpoints, transition costs,
+//! what-if calls, repartitions, recommendation churn — plus wall-clock
+//! timing.  Reports serialize to JSON deterministically: the same scenario
+//! replayed from the same seed renders byte-identical JSON (timing is kept
+//! out of the deterministic rendering; use
+//! [`RunReport::to_json_with_timing`] when wall-clock numbers are wanted,
+//! e.g. for CI artifacts).
+
+use crate::json::{diff_with_tolerance, Json};
+
+/// Metrics of one (advisor × options) cell.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The cell's label from the spec.
+    pub label: String,
+    /// The advisor's self-reported name.
+    pub advisor: String,
+    /// `totWork(A, Q_N, V)` over the whole workload.
+    pub total_work: f64,
+    /// Sum of per-statement query costs.
+    pub query_cost: f64,
+    /// Sum of configuration-transition costs.
+    pub transition_cost: f64,
+    /// Number of statements after which the adopted configuration changed
+    /// (recommendation churn as experienced by the DBA).
+    pub transitions: usize,
+    /// `totWork(OPT) / totWork(A)` at the end of the workload (1.0 = optimal).
+    pub opt_ratio: f64,
+    /// The ratio at each checkpoint (the x/y series of the figures).
+    pub ratio_series: Vec<(usize, f64)>,
+    /// What-if optimizer calls issued by the advisor (0 where the advisor
+    /// does not track them).
+    pub whatif_calls: u64,
+    /// Number of stable-partition rebuilds (WFIT AUTO only).
+    pub repartitions: u64,
+    /// Configurations tracked at the end (`Σ_k 2^|C_k|`; WFIT only).
+    pub states_tracked: u64,
+    /// Indices monitored by the advisor at the end of the run.
+    pub monitored: usize,
+    /// Size of the final adopted configuration.
+    pub final_config_size: usize,
+    /// Wall-clock time of the cell's run in milliseconds (excluded from the
+    /// deterministic JSON rendering).
+    pub wall_time_ms: f64,
+}
+
+impl CellReport {
+    fn to_json(&self, with_timing: bool) -> Json {
+        let mut fields = vec![
+            ("label", Json::Str(self.label.clone())),
+            ("advisor", Json::Str(self.advisor.clone())),
+            ("total_work", Json::Num(self.total_work)),
+            ("query_cost", Json::Num(self.query_cost)),
+            ("transition_cost", Json::Num(self.transition_cost)),
+            ("transitions", Json::Num(self.transitions as f64)),
+            ("opt_ratio", Json::Num(self.opt_ratio)),
+            (
+                "ratio_series",
+                Json::Arr(
+                    self.ratio_series
+                        .iter()
+                        .map(|&(n, r)| Json::Arr(vec![Json::Num(n as f64), Json::Num(r)]))
+                        .collect(),
+                ),
+            ),
+            ("whatif_calls", Json::Num(self.whatif_calls as f64)),
+            ("repartitions", Json::Num(self.repartitions as f64)),
+            ("states_tracked", Json::Num(self.states_tracked as f64)),
+            ("monitored", Json::Num(self.monitored as f64)),
+            (
+                "final_config_size",
+                Json::Num(self.final_config_size as f64),
+            ),
+        ];
+        if with_timing {
+            fields.push(("wall_time_ms", Json::Num(self.wall_time_ms)));
+        }
+        Json::obj(fields)
+    }
+}
+
+/// The structured result of replaying one scenario.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Workload seed the scenario was replayed from.
+    pub seed: u64,
+    /// Number of statements in the workload.
+    pub statements: usize,
+    /// Size of the offline candidate set.
+    pub candidates: usize,
+    /// Number of parts in the offline stable partition.
+    pub partition_parts: usize,
+    /// Total work of the OPT oracle (the `OPT = 1` normalizer).
+    pub opt_total: f64,
+    /// Checkpoint positions shared by every cell's ratio series.
+    pub checkpoints: Vec<usize>,
+    /// One report per cell, in spec order.
+    pub cells: Vec<CellReport>,
+}
+
+impl RunReport {
+    /// Deterministic JSON rendering (timing excluded) — the golden-file
+    /// format.  Identical seeds produce identical strings.
+    pub fn to_json(&self) -> String {
+        self.json_value(false).render()
+    }
+
+    /// JSON rendering including per-cell wall-clock timing (for CI
+    /// artifacts and overhead studies; NOT stable across runs).
+    pub fn to_json_with_timing(&self) -> String {
+        self.json_value(true).render()
+    }
+
+    fn json_value(&self, with_timing: bool) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("seed", Json::Num(self.seed as f64)),
+            ("statements", Json::Num(self.statements as f64)),
+            ("candidates", Json::Num(self.candidates as f64)),
+            ("partition_parts", Json::Num(self.partition_parts as f64)),
+            ("opt_total", Json::Num(self.opt_total)),
+            (
+                "checkpoints",
+                Json::Arr(
+                    self.checkpoints
+                        .iter()
+                        .map(|&c| Json::Num(c as f64))
+                        .collect(),
+                ),
+            ),
+            (
+                "cells",
+                Json::Arr(self.cells.iter().map(|c| c.to_json(with_timing)).collect()),
+            ),
+        ])
+    }
+
+    /// Find a cell by label.
+    pub fn cell(&self, label: &str) -> Option<&CellReport> {
+        self.cells.iter().find(|c| c.label == label)
+    }
+
+    /// Compare this report against a golden JSON document within a relative
+    /// numeric tolerance.  Returns the differences (empty = match).
+    pub fn diff_against_golden(&self, golden: &str, rel_tol: f64) -> Result<Vec<String>, String> {
+        let expected = Json::parse(golden).map_err(|e| format!("golden file: {e}"))?;
+        let actual = Json::parse(&self.to_json()).expect("own rendering parses");
+        Ok(diff_with_tolerance(&expected, &actual, rel_tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        RunReport {
+            scenario: "s".into(),
+            seed: 42,
+            statements: 16,
+            candidates: 7,
+            partition_parts: 3,
+            opt_total: 1000.5,
+            checkpoints: vec![8, 16],
+            cells: vec![CellReport {
+                label: "WFIT".into(),
+                advisor: "WFIT-fixed".into(),
+                total_work: 1100.25,
+                query_cost: 1000.25,
+                transition_cost: 100.0,
+                transitions: 2,
+                opt_ratio: 0.909,
+                ratio_series: vec![(8, 0.88), (16, 0.909)],
+                whatif_calls: 64,
+                repartitions: 0,
+                states_tracked: 12,
+                monitored: 5,
+                final_config_size: 3,
+                wall_time_ms: 1.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn deterministic_json_excludes_timing() {
+        let r = sample();
+        let text = r.to_json();
+        assert!(!text.contains("wall_time_ms"));
+        assert!(r.to_json_with_timing().contains("wall_time_ms"));
+        // Re-rendering is byte-identical.
+        assert_eq!(text, r.to_json());
+    }
+
+    #[test]
+    fn report_round_trips_and_diffs_clean_against_itself() {
+        let r = sample();
+        let diffs = r.diff_against_golden(&r.to_json(), 1e-9).unwrap();
+        assert!(diffs.is_empty(), "{diffs:?}");
+    }
+
+    #[test]
+    fn diff_catches_metric_regression() {
+        let r = sample();
+        let mut worse = sample();
+        worse.cells[0].total_work *= 1.10;
+        let diffs = worse.diff_against_golden(&r.to_json(), 1e-6).unwrap();
+        assert!(diffs.iter().any(|d| d.contains("total_work")), "{diffs:?}");
+    }
+
+    #[test]
+    fn cell_lookup_by_label() {
+        let r = sample();
+        assert!(r.cell("WFIT").is_some());
+        assert!(r.cell("nope").is_none());
+    }
+}

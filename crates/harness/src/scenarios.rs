@@ -1,0 +1,236 @@
+//! The canonical scenario catalog: the paper's Figures 8–12 plus the
+//! overhead and ablation studies, each as a declarative [`ScenarioSpec`], and
+//! miniature fixed-seed variants of Figures 8, 9 and 11 used by the golden
+//! regression suite in `tests/scenarios.rs`.
+//!
+//! Every constructor takes the phase length **explicitly**; reading the
+//! `WFIT_PHASE_LEN` environment variable is the job of the bench entry
+//! points (`crates/bench`), never of the harness.
+
+use crate::spec::{AdvisorSpec, CellSpec, FeedbackEvent, FeedbackSpec, ScenarioSpec};
+use wfit_core::config::WfitConfig;
+
+/// Statements per phase of the miniature golden scenarios.  Small enough for
+/// tier-1 test time, large enough that WFIT transitions and OPT is non-trivial.
+pub const MINI_PHASE_LEN: usize = 6;
+
+/// Figure 8 — baseline performance: WFIT at `stateCnt ∈ {2000, 500, 100}`,
+/// WFIT-IND and BC, fixed partition, no feedback.
+pub fn fig8(statements_per_phase: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("fig8-baseline", statements_per_phase);
+    for state_cnt in [2000u64, 500, 100] {
+        spec = spec.cell(CellSpec::new(
+            format!("WFIT-{state_cnt}"),
+            AdvisorSpec::WfitFixed { state_cnt },
+        ));
+    }
+    spec.cell(CellSpec::new("WFIT-IND", AdvisorSpec::WfitIndependent))
+        .cell(CellSpec::new("BC", AdvisorSpec::Bc))
+}
+
+/// Figure 9 — effect of DBA feedback: the prescient `V_GOOD` stream, no
+/// feedback, and the adversarial `V_BAD` mirror.
+pub fn fig9(statements_per_phase: usize) -> ScenarioSpec {
+    ScenarioSpec::new("fig9-feedback", statements_per_phase)
+        .cell(
+            CellSpec::new("GOOD", AdvisorSpec::WfitFixed { state_cnt: 500 })
+                .with_feedback(FeedbackSpec::OptGood),
+        )
+        .cell(CellSpec::new(
+            "WFIT",
+            AdvisorSpec::WfitFixed { state_cnt: 500 },
+        ))
+        .cell(
+            CellSpec::new("BAD", AdvisorSpec::WfitFixed { state_cnt: 500 })
+                .with_feedback(FeedbackSpec::OptBad),
+        )
+}
+
+/// Figure 10 — feedback under the independence assumption.
+pub fn fig10(statements_per_phase: usize) -> ScenarioSpec {
+    ScenarioSpec::new("fig10-feedback-ind", statements_per_phase)
+        .cell(
+            CellSpec::new("GOOD-IND", AdvisorSpec::WfitIndependent)
+                .with_feedback(FeedbackSpec::OptGood),
+        )
+        .cell(CellSpec::new("WFIT-IND", AdvisorSpec::WfitIndependent))
+}
+
+/// Figure 11 — effect of delayed responses (`LAG T`).
+pub fn fig11(statements_per_phase: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("fig11-lag", statements_per_phase);
+    for lag in [1usize, 25, 50, 75] {
+        let label = if lag == 1 {
+            "WFIT".to_string()
+        } else {
+            format!("LAG {lag}")
+        };
+        spec = spec
+            .cell(CellSpec::new(label, AdvisorSpec::WfitFixed { state_cnt: 500 }).with_lag(lag));
+    }
+    spec
+}
+
+/// Figure 12 — automatic maintenance of the stable partition (AUTO vs FIXED).
+pub fn fig12(statements_per_phase: usize) -> ScenarioSpec {
+    ScenarioSpec::new("fig12-auto-partition", statements_per_phase)
+        .cell(CellSpec::new(
+            "AUTO",
+            AdvisorSpec::WfitAuto {
+                config: WfitConfig::default(),
+            },
+        ))
+        .cell(CellSpec::new(
+            "FIXED",
+            AdvisorSpec::WfitFixed { state_cnt: 500 },
+        ))
+}
+
+/// Overhead study (Section 6.2): fixed-partition WFIT at three `stateCnt`
+/// settings plus full AUTO, for wall-clock / what-if-call profiling.
+pub fn overhead(statements_per_phase: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("overhead", statements_per_phase);
+    for state_cnt in [2000u64, 500, 100] {
+        spec = spec.cell(CellSpec::new(
+            format!("WFIT-{state_cnt}"),
+            AdvisorSpec::WfitFixed { state_cnt },
+        ));
+    }
+    spec.cell(CellSpec::new(
+        "AUTO",
+        AdvisorSpec::WfitAuto {
+            config: WfitConfig::default(),
+        },
+    ))
+}
+
+/// Ablation studies over the AUTO knobs: one scenario per swept knob
+/// (`histSize`, `idxCnt`, `choosePartition` randomization).
+pub fn ablations(statements_per_phase: usize) -> Vec<ScenarioSpec> {
+    let auto = |config: WfitConfig| AdvisorSpec::WfitAuto { config };
+    let mut hist = ScenarioSpec::new("ablation-hist-size", statements_per_phase);
+    for hist_size in [10usize, 100, 400] {
+        hist = hist.cell(CellSpec::new(
+            format!("hist={hist_size}"),
+            auto(WfitConfig {
+                hist_size,
+                ..WfitConfig::default()
+            }),
+        ));
+    }
+    let mut idx = ScenarioSpec::new("ablation-idx-cnt", statements_per_phase);
+    for idx_cnt in [10usize, 20, 40] {
+        idx = idx.cell(CellSpec::new(
+            format!("idxCnt={idx_cnt}"),
+            auto(WfitConfig {
+                idx_cnt,
+                ..WfitConfig::default()
+            }),
+        ));
+    }
+    let mut rand = ScenarioSpec::new("ablation-rand-cnt", statements_per_phase);
+    for rand_cnt in [0usize, 8, 32] {
+        rand = rand.cell(CellSpec::new(
+            format!("rand={rand_cnt}"),
+            auto(WfitConfig {
+                rand_cnt,
+                ..WfitConfig::default()
+            }),
+        ));
+    }
+    vec![hist, idx, rand]
+}
+
+/// Miniature Figure 8 for the golden suite: fixed seed, no feedback.
+pub fn fig8_mini() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("fig8-mini", MINI_PHASE_LEN);
+    for state_cnt in [500u64, 100] {
+        spec = spec.cell(CellSpec::new(
+            format!("WFIT-{state_cnt}"),
+            AdvisorSpec::WfitFixed { state_cnt },
+        ));
+    }
+    spec.cell(CellSpec::new("WFIT-IND", AdvisorSpec::WfitIndependent))
+        .cell(CellSpec::new("BC", AdvisorSpec::Bc))
+        .cell(CellSpec::new("NO-INDEX", AdvisorSpec::NoIndex))
+}
+
+/// Miniature Figure 9 for the golden suite: OPT-derived and explicitly
+/// scripted feedback streams.
+pub fn fig9_mini() -> ScenarioSpec {
+    ScenarioSpec::new("fig9-mini", MINI_PHASE_LEN)
+        .cell(
+            CellSpec::new("GOOD", AdvisorSpec::WfitFixed { state_cnt: 500 })
+                .with_feedback(FeedbackSpec::OptGood),
+        )
+        .cell(CellSpec::new(
+            "WFIT",
+            AdvisorSpec::WfitFixed { state_cnt: 500 },
+        ))
+        .cell(
+            CellSpec::new("BAD", AdvisorSpec::WfitFixed { state_cnt: 500 })
+                .with_feedback(FeedbackSpec::OptBad),
+        )
+        .cell(
+            CellSpec::new("SCRIPTED", AdvisorSpec::WfitFixed { state_cnt: 500 }).with_feedback(
+                FeedbackSpec::Scripted(vec![
+                    FeedbackEvent {
+                        position: 4,
+                        approve_ranks: vec![0, 1],
+                        reject_ranks: vec![],
+                    },
+                    FeedbackEvent {
+                        position: 24,
+                        approve_ranks: vec![],
+                        reject_ranks: vec![0],
+                    },
+                ]),
+            ),
+        )
+}
+
+/// Miniature Figure 11 for the golden suite: delayed acceptance.
+pub fn fig11_mini() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new("fig11-mini", MINI_PHASE_LEN);
+    for lag in [1usize, 8, 16] {
+        let label = if lag == 1 {
+            "WFIT".to_string()
+        } else {
+            format!("LAG {lag}")
+        };
+        spec = spec
+            .cell(CellSpec::new(label, AdvisorSpec::WfitFixed { state_cnt: 500 }).with_lag(lag));
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_scenarios_have_the_expected_fleets() {
+        assert_eq!(fig8(10).cells.len(), 5);
+        assert_eq!(fig9(10).cells.len(), 3);
+        assert_eq!(fig10(10).cells.len(), 2);
+        assert_eq!(fig11(10).cells.len(), 4);
+        assert_eq!(fig12(10).cells.len(), 2);
+        assert_eq!(overhead(10).cells.len(), 4);
+        assert_eq!(ablations(10).len(), 3);
+    }
+
+    #[test]
+    fn mini_scenarios_share_the_default_seed_and_are_small() {
+        for spec in [fig8_mini(), fig9_mini(), fig11_mini()] {
+            assert_eq!(spec.statements_per_phase, MINI_PHASE_LEN);
+            assert_eq!(spec.total_statements(), 8 * MINI_PHASE_LEN);
+            assert_eq!(spec.seed, ScenarioSpec::new("x", 1).seed);
+        }
+    }
+
+    #[test]
+    fn fig8_state_cnt_sweep_requires_extra_selections() {
+        let cnts = fig8(10).state_cnts_needed();
+        assert!(cnts.contains(&2000) && cnts.contains(&500) && cnts.contains(&100));
+    }
+}

@@ -1,0 +1,266 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] fully determines an experiment: the workload (phases,
+//! drift, update fractions, statements per phase, RNG seed), the offline
+//! candidate selection, and a fleet of advisor *cells* — each an advisor
+//! variant paired with a feedback script and an acceptance policy.  Replaying
+//! the same spec always produces the same [`crate::RunReport`], which is what
+//! makes golden-run regression testing possible.
+
+use wfit_core::config::WfitConfig;
+use workload::{default_phases, BenchmarkSpec, PhaseSpec};
+
+/// Which advisor a cell runs.
+#[derive(Debug, Clone)]
+pub enum AdvisorSpec {
+    /// WFIT with the fixed offline partition mined for `state_cnt`
+    /// (the paper's Figures 8–11 setup).
+    WfitFixed {
+        /// `stateCnt` used both for the offline partition and the advisor.
+        state_cnt: u64,
+    },
+    /// WFIT with every candidate in its own part (the WFIT-IND variant).
+    WfitIndependent,
+    /// Full WFIT with online candidate/partition maintenance (`chooseCands`
+    /// enabled, Figure 12's AUTO).
+    WfitAuto {
+        /// Algorithm knobs (`idxCnt`, `stateCnt`, `histSize`, …).
+        config: WfitConfig,
+    },
+    /// The Bruno–Chaudhuri baseline over the offline candidate set.
+    Bc,
+    /// Never recommends anything.
+    NoIndex,
+    /// Recommends every offline candidate from the first statement.
+    AllCandidates,
+}
+
+/// A scripted DBA-feedback event, declarative over the offline candidate
+/// *ranks* (position in the offline `topIndices` ordering) so that specs do
+/// not depend on the numeric `IndexId`s a particular run happens to intern.
+#[derive(Debug, Clone)]
+pub struct FeedbackEvent {
+    /// 1-based statement position after which the votes are delivered.
+    pub position: usize,
+    /// Positive votes: ranks into the offline candidate list.
+    pub approve_ranks: Vec<usize>,
+    /// Negative votes: ranks into the offline candidate list.
+    pub reject_ranks: Vec<usize>,
+}
+
+/// The feedback script of a cell.
+#[derive(Debug, Clone, Default)]
+pub enum FeedbackSpec {
+    /// No feedback (`V = ∅`).
+    #[default]
+    None,
+    /// `V_GOOD`: votes mirroring OPT's create/drop schedule (Figure 9's
+    /// prescient DBA).
+    OptGood,
+    /// `V_BAD`: the mirror image of `V_GOOD`.
+    OptBad,
+    /// Explicit scripted events.
+    Scripted(Vec<FeedbackEvent>),
+}
+
+/// How often the DBA adopts the recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AcceptanceSpec {
+    /// After every statement (Figures 8–10, 12).
+    #[default]
+    Immediate,
+    /// Only every `T` statements (Figure 11's `LAG T`).
+    EveryT(usize),
+}
+
+/// One (advisor × options) cell of a scenario.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Display label (also the key in golden reports).
+    pub label: String,
+    /// The advisor variant.
+    pub advisor: AdvisorSpec,
+    /// Scheduled DBA feedback.
+    pub feedback: FeedbackSpec,
+    /// Acceptance policy.
+    pub acceptance: AcceptanceSpec,
+    /// Whether adopting a recommendation also delivers implicit votes for the
+    /// created/dropped indices (the lease-renewal reading of delayed
+    /// acceptance, used by Figure 11).
+    pub implicit_feedback_on_accept: bool,
+}
+
+impl CellSpec {
+    /// A cell with immediate acceptance and no feedback.
+    pub fn new(label: impl Into<String>, advisor: AdvisorSpec) -> Self {
+        Self {
+            label: label.into(),
+            advisor,
+            feedback: FeedbackSpec::None,
+            acceptance: AcceptanceSpec::Immediate,
+            implicit_feedback_on_accept: false,
+        }
+    }
+
+    /// Set the feedback script.
+    pub fn with_feedback(mut self, feedback: FeedbackSpec) -> Self {
+        self.feedback = feedback;
+        self
+    }
+
+    /// Set the acceptance policy (with implicit feedback on accept when
+    /// lagged, matching the paper's Figure 11 setup).
+    pub fn with_lag(mut self, lag: usize) -> Self {
+        if lag <= 1 {
+            self.acceptance = AcceptanceSpec::Immediate;
+            self.implicit_feedback_on_accept = false;
+        } else {
+            self.acceptance = AcceptanceSpec::EveryT(lag);
+            self.implicit_feedback_on_accept = true;
+        }
+        self
+    }
+}
+
+/// A fully declarative experiment: workload + candidate selection + advisor
+/// fleet.  The workload phase length is an **explicit parameter** — there is
+/// no environment-variable side channel in the harness, so concurrently
+/// running scenarios can never race on process-global state.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (used in reports and golden file names).
+    pub name: String,
+    /// Statements per phase (the paper uses 200).
+    pub statements_per_phase: usize,
+    /// Workload RNG seed; the whole scenario is deterministic given this.
+    pub seed: u64,
+    /// The workload phases (primary/secondary data set drift and update
+    /// fractions per phase).
+    pub phases: Vec<PhaseSpec>,
+    /// `stateCnt` for the default offline candidate selection, the stable
+    /// partition and the OPT oracle.
+    pub selection_state_cnt: u64,
+    /// The advisor fleet.
+    pub cells: Vec<CellSpec>,
+}
+
+impl ScenarioSpec {
+    /// A scenario over the paper's eight-phase workload with the default
+    /// seed and `stateCnt = 500`.
+    pub fn new(name: impl Into<String>, statements_per_phase: usize) -> Self {
+        Self {
+            name: name.into(),
+            statements_per_phase,
+            seed: BenchmarkSpec::default().seed,
+            phases: default_phases(),
+            selection_state_cnt: 500,
+            cells: Vec::new(),
+        }
+    }
+
+    /// Override the workload seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the phase structure (drift pattern and update fractions).
+    pub fn with_phases(mut self, phases: Vec<PhaseSpec>) -> Self {
+        self.phases = phases;
+        self
+    }
+
+    /// Add a cell to the fleet.
+    pub fn cell(mut self, cell: CellSpec) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// The workload specification this scenario replays.
+    pub fn benchmark_spec(&self) -> BenchmarkSpec {
+        BenchmarkSpec {
+            statements_per_phase: self.statements_per_phase,
+            seed: self.seed,
+            phases: self.phases.clone(),
+        }
+    }
+
+    /// Total number of statements.
+    pub fn total_statements(&self) -> usize {
+        self.statements_per_phase * self.phases.len()
+    }
+
+    /// Every distinct `stateCnt` that needs an offline selection: the
+    /// scenario default plus any `WfitFixed` overrides.
+    pub fn state_cnts_needed(&self) -> Vec<u64> {
+        let mut cnts = vec![self.selection_state_cnt];
+        for cell in &self.cells {
+            if let AdvisorSpec::WfitFixed { state_cnt } = cell.advisor {
+                if !cnts.contains(&state_cnt) {
+                    cnts.push(state_cnt);
+                }
+            }
+        }
+        cnts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_composes_cells_and_options() {
+        let spec = ScenarioSpec::new("t", 5)
+            .with_seed(7)
+            .cell(CellSpec::new(
+                "a",
+                AdvisorSpec::WfitFixed { state_cnt: 500 },
+            ))
+            .cell(
+                CellSpec::new("b", AdvisorSpec::Bc)
+                    .with_feedback(FeedbackSpec::OptGood)
+                    .with_lag(10),
+            );
+        assert_eq!(spec.cells.len(), 2);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.total_statements(), 40);
+        assert_eq!(spec.cells[1].acceptance, AcceptanceSpec::EveryT(10));
+        assert!(spec.cells[1].implicit_feedback_on_accept);
+        assert!(matches!(spec.cells[1].feedback, FeedbackSpec::OptGood));
+    }
+
+    #[test]
+    fn lag_of_one_is_immediate() {
+        let cell = CellSpec::new("x", AdvisorSpec::NoIndex).with_lag(1);
+        assert_eq!(cell.acceptance, AcceptanceSpec::Immediate);
+        assert!(!cell.implicit_feedback_on_accept);
+    }
+
+    #[test]
+    fn state_cnts_needed_dedups() {
+        let spec = ScenarioSpec::new("t", 5)
+            .cell(CellSpec::new(
+                "a",
+                AdvisorSpec::WfitFixed { state_cnt: 500 },
+            ))
+            .cell(CellSpec::new(
+                "b",
+                AdvisorSpec::WfitFixed { state_cnt: 100 },
+            ))
+            .cell(CellSpec::new(
+                "c",
+                AdvisorSpec::WfitFixed { state_cnt: 100 },
+            ));
+        assert_eq!(spec.state_cnts_needed(), vec![500, 100]);
+    }
+
+    #[test]
+    fn benchmark_spec_matches_scenario() {
+        let spec = ScenarioSpec::new("t", 9).with_seed(3);
+        let b = spec.benchmark_spec();
+        assert_eq!(b.statements_per_phase, 9);
+        assert_eq!(b.seed, 3);
+        assert_eq!(b.phases.len(), 8);
+    }
+}

@@ -21,4 +21,4 @@ pub mod generator;
 pub mod schema;
 pub mod templates;
 
-pub use generator::{Benchmark, BenchmarkSpec, Dataset, PhaseSpec};
+pub use generator::{default_phases, Benchmark, BenchmarkSpec, Dataset, PhaseSpec};

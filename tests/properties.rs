@@ -182,6 +182,143 @@ proptest! {
     }
 }
 
+/// Properties of the index benefit graph and of stable partitions (the IBG
+/// invariants of Schnaitter et al. that WFIT's statistics maintenance
+/// relies on).
+mod ibg_properties {
+    use super::*;
+    use ibg::partition::{normalize, Partition};
+    use ibg::IndexBenefitGraph;
+    use simdb::catalog::CatalogBuilder;
+    use simdb::database::Database;
+    use simdb::query::{build, PredicateKind};
+    use simdb::types::DataType;
+
+    fn database() -> (Database, Vec<IndexId>) {
+        let mut b = CatalogBuilder::new();
+        b.table("t")
+            .rows(3_000_000.0)
+            .column("a", DataType::Integer, 500_000.0)
+            .column("b", DataType::Integer, 120_000.0)
+            .column("c", DataType::Integer, 9_000.0)
+            .column("d", DataType::Integer, 32.0)
+            .finish();
+        let db = Database::new(b.build());
+        let t = db.catalog().table_by_name("t").unwrap();
+        let cols: Vec<simdb::ColumnId> = db.catalog().table(t).columns.clone();
+        let i1 = db.define_index_on(t, vec![cols[0]]);
+        let i2 = db.define_index_on(t, vec![cols[1]]);
+        let i3 = db.define_index_on(t, vec![cols[2]]);
+        let i4 = db.define_index_on(t, vec![cols[0], cols[1]]);
+        (db, vec![i1, i2, i3, i4])
+    }
+
+    fn statement(db: &Database, sel_a: f64, sel_b: f64, sel_c: f64) -> simdb::query::Statement {
+        let t = db.catalog().table_by_name("t").unwrap();
+        let cols: Vec<simdb::ColumnId> = db.catalog().table(t).columns.clone();
+        build::select()
+            .table(t)
+            .predicate(t, cols[0], PredicateKind::Range, sel_a)
+            .predicate(t, cols[1], PredicateKind::Range, sel_b)
+            .predicate(t, cols[2], PredicateKind::Equality, sel_c)
+            .output(cols[3])
+            .build()
+    }
+
+    fn subset_of(idx: &[IndexId], mask: usize) -> IndexSet {
+        IndexSet::from_iter(
+            idx.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, id)| *id),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// `cost(q, Y)` is monotone non-increasing as `Y` grows: adding
+        /// indices can only help (or be ignored by) the optimizer.
+        #[test]
+        fn ibg_cost_is_monotone_non_increasing_in_y(
+            sel_a in 1e-6f64..0.4,
+            sel_b in 1e-6f64..0.4,
+            sel_c in 1e-6f64..0.1,
+            mask in 0usize..16,
+            submask in 0usize..16,
+        ) {
+            let (db, idx) = database();
+            let stmt = statement(&db, sel_a, sel_b, sel_c);
+            let ibg = IndexBenefitGraph::build(
+                IndexSet::from_iter(idx.iter().copied()),
+                |cfg| db.whatif_cost(&stmt, cfg),
+            );
+            let small = subset_of(&idx, mask & submask);
+            let large = subset_of(&idx, mask);
+            prop_assert!(small.is_subset_of(&large));
+            prop_assert!(ibg.cost(&large) <= ibg.cost(&small) + 1e-9);
+            prop_assert!(ibg.cost(&large) > 0.0);
+        }
+
+        /// The plan for `Y` only uses indices from `Y`, and the used set is a
+        /// cost fixpoint: `cost(used(Y)) == cost(Y)`.
+        #[test]
+        fn ibg_used_is_subset_and_cost_fixpoint(
+            sel_a in 1e-6f64..0.4,
+            sel_b in 1e-6f64..0.4,
+            sel_c in 1e-6f64..0.1,
+            mask in 0usize..16,
+        ) {
+            let (db, idx) = database();
+            let stmt = statement(&db, sel_a, sel_b, sel_c);
+            let ibg = IndexBenefitGraph::build(
+                IndexSet::from_iter(idx.iter().copied()),
+                |cfg| db.whatif_cost(&stmt, cfg),
+            );
+            let y = subset_of(&idx, mask);
+            let used = ibg.used(&y);
+            prop_assert!(used.is_subset_of(&y), "used {used} ⊄ {y}");
+            prop_assert!((ibg.cost(&used) - ibg.cost(&y)).abs() < 1e-9);
+            // The same holds at every node the construction materialized.
+            for node in ibg.nodes() {
+                prop_assert!(node.used.is_subset_of(&node.config));
+                prop_assert!((ibg.cost(&node.used) - node.cost).abs() < 1e-6);
+            }
+        }
+
+        /// `normalize` is idempotent on partitions, and its output is in
+        /// normal form (sorted, deduplicated, no empty parts).
+        #[test]
+        fn normalize_is_idempotent(
+            raw in proptest::collection::vec(
+                proptest::collection::vec(0u32..12, 4),
+                5,
+            ),
+            part_count in 0usize..6,
+            part_sizes in proptest::collection::vec(0usize..5, 5),
+        ) {
+            // The proptest stub generates fixed-shape collections; carve a
+            // ragged partition (including empty parts) out of the 5×4 block.
+            let partition: Partition = raw
+                .iter()
+                .zip(&part_sizes)
+                .take(part_count)
+                .map(|(part, &size)| {
+                    part.iter().take(size).map(|&i| IndexId(i)).collect()
+                })
+                .collect();
+            let once = normalize(partition.clone());
+            let twice = normalize(once.clone());
+            prop_assert_eq!(&once, &twice);
+            for part in &once {
+                prop_assert!(!part.is_empty());
+                prop_assert!(part.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            }
+            prop_assert!(once.windows(2).all(|w| w[0] <= w[1]), "parts ordered");
+        }
+    }
+}
+
 /// Property tests against the real simulated DBMS (fewer cases, heavier).
 mod simdb_properties {
     use super::*;

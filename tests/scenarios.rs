@@ -1,0 +1,157 @@
+//! Golden-run regression suite over the deterministic scenario harness.
+//!
+//! Miniature versions of the paper's Figure 8 (baseline, no feedback),
+//! Figure 9 (scripted DBA feedback) and Figure 11 (feedback lag) scenarios
+//! are replayed from fixed seeds and their structured `RunReport`s are
+//! diffed — within a numeric tolerance — against the snapshots committed
+//! under `tests/golden/`.  Any behavioural change to WFIT/WFA⁺/BC/OPT, the
+//! workload generator, the cost model or the evaluator shows up here as a
+//! readable field-level diff.
+//!
+//! To regenerate the snapshots after an *intentional* behaviour change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test scenarios
+//! ```
+//!
+//! Every run also writes the reports (including wall-clock timing) to
+//! `target/scenario-reports/` so CI can upload them as a build artifact.
+
+use harness::{run_scenario, scenarios, RunReport, ScenarioSpec};
+use std::fs;
+use std::path::PathBuf;
+
+/// Relative numeric tolerance for golden comparison.  Replays are expected
+/// to be bit-deterministic on one platform; the slack only absorbs
+/// cross-platform floating-point differences (libm, FMA contraction).
+const REL_TOL: f64 = 1e-6;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+fn artifact_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/scenario-reports")
+}
+
+fn update_golden_requested() -> bool {
+    matches!(std::env::var("UPDATE_GOLDEN"), Ok(v) if !v.is_empty() && v != "0")
+}
+
+/// Replay a scenario, export its report for CI, and either regenerate or
+/// verify the committed golden snapshot.
+fn check_against_golden(spec: ScenarioSpec) -> RunReport {
+    let name = spec.name.clone();
+    let report = run_scenario(spec);
+
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).expect("create scenario-report dir");
+    fs::write(
+        dir.join(format!("{name}.json")),
+        report.to_json_with_timing(),
+    )
+    .expect("write scenario report artifact");
+
+    let path = golden_path(&name);
+    if update_golden_requested() {
+        fs::write(&path, report.to_json())
+            .unwrap_or_else(|e| panic!("cannot write golden {}: {e}", path.display()));
+        eprintln!("regenerated golden snapshot {}", path.display());
+    } else {
+        let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing/unreadable golden snapshot {} ({e}); \
+                 run `UPDATE_GOLDEN=1 cargo test --test scenarios` to create it",
+                path.display()
+            )
+        });
+        let diffs = report
+            .diff_against_golden(&golden, REL_TOL)
+            .expect("golden snapshot parses as JSON");
+        assert!(
+            diffs.is_empty(),
+            "scenario '{name}' deviates from {}:\n  {}\n\
+             (if the change is intentional, regenerate with UPDATE_GOLDEN=1)",
+            path.display(),
+            diffs.join("\n  ")
+        );
+    }
+    report
+}
+
+/// Invariants that must hold for every report regardless of the snapshot.
+fn sanity(report: &RunReport) {
+    assert!(report.opt_total > 0.0);
+    assert!(!report.checkpoints.is_empty());
+    for cell in &report.cells {
+        // OPT is a lower bound on every advisor's schedule.
+        assert!(
+            report.opt_total <= cell.total_work + 1e-6,
+            "{}: OPT {} > total {}",
+            cell.label,
+            report.opt_total,
+            cell.total_work
+        );
+        assert!(cell.opt_ratio > 0.0 && cell.opt_ratio <= 1.0 + 1e-9);
+        assert_eq!(cell.ratio_series.len(), report.checkpoints.len());
+        assert!(
+            (cell.query_cost + cell.transition_cost - cell.total_work).abs() < 1e-6,
+            "{}: cost decomposition must add up",
+            cell.label
+        );
+    }
+}
+
+#[test]
+fn fig8_mini_matches_golden() {
+    let report = check_against_golden(scenarios::fig8_mini());
+    sanity(&report);
+    assert_eq!(report.cells.len(), 5);
+    // The no-index baseline never transitions.
+    let noop = report.cell("NO-INDEX").unwrap();
+    assert_eq!(noop.transitions, 0);
+    assert_eq!(noop.transition_cost, 0.0);
+}
+
+#[test]
+fn fig9_mini_matches_golden() {
+    let report = check_against_golden(scenarios::fig9_mini());
+    sanity(&report);
+    assert_eq!(report.cells.len(), 4);
+    // Prescient votes never hurt relative to adversarial ones.
+    let good = report.cell("GOOD").unwrap();
+    let bad = report.cell("BAD").unwrap();
+    assert!(good.total_work <= bad.total_work + 1e-6);
+}
+
+#[test]
+fn fig11_mini_matches_golden() {
+    let report = check_against_golden(scenarios::fig11_mini());
+    sanity(&report);
+    assert_eq!(report.cells.len(), 3);
+    // A lagged DBA can only transition at acceptance points, so churn is
+    // bounded by the number of such points.
+    let lag16 = report.cell("LAG 16").unwrap();
+    assert!(lag16.transitions <= report.statements / 16);
+    // Immediate acceptance is at least as good as the largest lag.
+    let immediate = report.cell("WFIT").unwrap();
+    assert!(immediate.total_work <= lag16.total_work + 1e-6);
+}
+
+#[test]
+fn replay_is_deterministic_for_identical_seeds() {
+    // Two full prepare+run cycles — including the parallel cell replay —
+    // must render byte-identical deterministic JSON.
+    let a = run_scenario(scenarios::fig8_mini());
+    let b = run_scenario(scenarios::fig8_mini());
+    assert_eq!(a.to_json(), b.to_json());
+
+    // And a different seed must actually change the outcome (the golden
+    // files are not vacuous).
+    let mut spec = scenarios::fig8_mini();
+    spec.seed ^= 1;
+    let c = run_scenario(spec);
+    assert_ne!(a.to_json(), c.to_json());
+}
