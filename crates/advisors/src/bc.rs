@@ -36,18 +36,18 @@ struct Account {
 }
 
 /// The BC baseline advisor over a fixed candidate set.
-pub struct BruchoChaudhuriAdvisor<'e, E: TuningEnv> {
-    env: &'e E,
+pub struct BruchoChaudhuriAdvisor<E: TuningEnv> {
+    env: E,
     candidates: Vec<IndexId>,
     accounts: HashMap<IndexId, Account>,
     statements: u64,
     whatif_calls: u64,
 }
 
-impl<'e, E: TuningEnv> BruchoChaudhuriAdvisor<'e, E> {
+impl<E: TuningEnv> BruchoChaudhuriAdvisor<E> {
     /// Create the advisor over a fixed candidate set, starting from the
     /// materialized set `initial`.
-    pub fn new(env: &'e E, candidates: Vec<IndexId>, initial: &IndexSet) -> Self {
+    pub fn new(env: E, candidates: Vec<IndexId>, initial: &IndexSet) -> Self {
         let accounts = candidates
             .iter()
             .map(|&id| {
@@ -87,7 +87,7 @@ impl<'e, E: TuningEnv> BruchoChaudhuriAdvisor<'e, E> {
     }
 }
 
-impl<'e, E: TuningEnv> IndexAdvisor for BruchoChaudhuriAdvisor<'e, E> {
+impl<E: TuningEnv> IndexAdvisor for BruchoChaudhuriAdvisor<E> {
     fn analyze_query(&mut self, stmt: &Statement) {
         self.statements += 1;
         let all = IndexSet::from_iter(self.candidates.iter().copied());

@@ -1,0 +1,49 @@
+//! Multi-tenant service throughput: N independent workload streams pushed
+//! through `service::TuningService` as one interleaved event batch, each
+//! tenant served by a WFIT-500 / WFIT-IND / BC session fleet over a shared
+//! per-tenant what-if cache.
+//!
+//! Reports events/sec, per-event latency percentiles and the shared-cache
+//! hit rate — the hot path future perf work optimizes.  Tenant count comes
+//! from `WFIT_TENANTS` (default 4); phase length from `WFIT_PHASE_LEN`
+//! (default 60), both read once here at the entry point.
+
+use bench::{phase_len_from_env, print_summaries, run_service_scenario, scenarios};
+
+fn tenants_from_env() -> usize {
+    std::env::var("WFIT_TENANTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+fn main() {
+    let spec = scenarios::service_throughput(tenants_from_env(), phase_len_from_env());
+    let tenants = spec.tenants;
+    let per_tenant = spec.statements_per_tenant();
+    println!(
+        "service_throughput: {tenants} tenants × {per_tenant} statements, \
+         fleet = WFIT-500 / WFIT-IND / BC, shared what-if cache per tenant"
+    );
+    let report = run_service_scenario(&spec);
+    let service = report
+        .service
+        .as_ref()
+        .expect("service scenarios always carry a service summary");
+    println!();
+    println!(
+        "events          {:>12}  ({} queries, {} votes)",
+        service.query_events + service.vote_events,
+        service.query_events,
+        service.vote_events
+    );
+    println!("events/sec      {:>12.0}", service.events_per_sec);
+    println!("latency p50     {:>10} µs", service.latency_p50_us);
+    println!("latency p99     {:>10} µs", service.latency_p99_us);
+    println!(
+        "what-if cache   {:>12} requests, hit rate {:.3}",
+        service.cache_requests, service.cache_hit_rate
+    );
+    println!();
+    print_summaries(&report);
+}

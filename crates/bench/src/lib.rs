@@ -16,8 +16,8 @@
 //! reproduce the paper-scale runs.
 
 pub use harness::{
-    run_scenario, scenarios, AdvisorSpec, CellReport, CellSpec, FeedbackSpec, RunReport,
-    ScenarioContext, ScenarioSpec,
+    run_scenario, run_service_scenario, scenarios, AdvisorSpec, CellReport, CellSpec, FeedbackSpec,
+    RunReport, ScenarioContext, ScenarioSpec, ServiceScenarioSpec, ServiceSessionSpec,
 };
 
 /// Statements per phase for a bench run: the `WFIT_PHASE_LEN` override, or

@@ -28,6 +28,27 @@ pub trait IndexAdvisor {
     fn name(&self) -> String;
 }
 
+/// Boxed advisors forward to their contents, so heterogeneous fleets (e.g.
+/// the sessions of a tuning service) can be stored as
+/// `Box<dyn IndexAdvisor + Send>`.
+impl<A: IndexAdvisor + ?Sized> IndexAdvisor for Box<A> {
+    fn analyze_query(&mut self, stmt: &Statement) {
+        (**self).analyze_query(stmt)
+    }
+
+    fn recommend(&self) -> IndexSet {
+        (**self).recommend()
+    }
+
+    fn feedback(&mut self, positive: &IndexSet, negative: &IndexSet) {
+        (**self).feedback(positive, negative)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -51,6 +51,72 @@ pub trait TuningEnv {
     }
 }
 
+/// Shared references to an environment are environments themselves: this is
+/// what lets the advisors take their environment **by value** while every
+/// existing call site keeps passing `&db`.
+impl<E: TuningEnv + ?Sized> TuningEnv for &E {
+    fn whatif(&self, stmt: &Statement, config: &IndexSet) -> PlanCost {
+        (**self).whatif(stmt, config)
+    }
+
+    fn cost(&self, stmt: &Statement, config: &IndexSet) -> f64 {
+        (**self).cost(stmt, config)
+    }
+
+    fn create_cost(&self, id: IndexId) -> f64 {
+        (**self).create_cost(id)
+    }
+
+    fn drop_cost(&self, id: IndexId) -> f64 {
+        (**self).drop_cost(id)
+    }
+
+    fn transition_cost(&self, from: &IndexSet, to: &IndexSet) -> f64 {
+        (**self).transition_cost(from, to)
+    }
+
+    fn extract_candidates(&self, stmt: &Statement) -> Vec<IndexId> {
+        (**self).extract_candidates(stmt)
+    }
+
+    fn describe_index(&self, id: IndexId) -> String {
+        (**self).describe_index(id)
+    }
+}
+
+/// `Arc<E>` environments let a long-lived advisor (e.g. a tuning-service
+/// session) **own** shared DBMS state without borrowing from anyone — the
+/// enabler for `'static` sessions that move across worker threads.
+impl<E: TuningEnv + ?Sized> TuningEnv for std::sync::Arc<E> {
+    fn whatif(&self, stmt: &Statement, config: &IndexSet) -> PlanCost {
+        (**self).whatif(stmt, config)
+    }
+
+    fn cost(&self, stmt: &Statement, config: &IndexSet) -> f64 {
+        (**self).cost(stmt, config)
+    }
+
+    fn create_cost(&self, id: IndexId) -> f64 {
+        (**self).create_cost(id)
+    }
+
+    fn drop_cost(&self, id: IndexId) -> f64 {
+        (**self).drop_cost(id)
+    }
+
+    fn transition_cost(&self, from: &IndexSet, to: &IndexSet) -> f64 {
+        (**self).transition_cost(from, to)
+    }
+
+    fn extract_candidates(&self, stmt: &Statement) -> Vec<IndexId> {
+        (**self).extract_candidates(stmt)
+    }
+
+    fn describe_index(&self, id: IndexId) -> String {
+        (**self).describe_index(id)
+    }
+}
+
 impl TuningEnv for simdb::database::Database {
     fn whatif(&self, stmt: &Statement, config: &IndexSet) -> PlanCost {
         simdb::database::Database::whatif_cost(self, stmt, config)

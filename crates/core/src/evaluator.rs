@@ -163,13 +163,14 @@ impl RunResult {
 
 /// The experiment driver: feeds a workload (and a feedback stream) to an
 /// advisor and accounts for `totWork`.
-pub struct Evaluator<'e, E: TuningEnv> {
-    env: &'e E,
+pub struct Evaluator<E: TuningEnv> {
+    env: E,
 }
 
-impl<'e, E: TuningEnv> Evaluator<'e, E> {
-    /// Create an evaluator over the environment.
-    pub fn new(env: &'e E) -> Self {
+impl<E: TuningEnv> Evaluator<E> {
+    /// Create an evaluator over the environment (taken by value: pass `&db`
+    /// or any owned [`TuningEnv`] handle).
+    pub fn new(env: E) -> Self {
         Self { env }
     }
 

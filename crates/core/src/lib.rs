@@ -16,7 +16,11 @@
 //!   WFIT and the offline fixed-partition setup used by the experiments;
 //! * [`evaluator`] — the `totWork` metric, DBA acceptance models (immediate
 //!   and lagged) and feedback streams, used by every experiment in Section 6;
-//! * [`env`] — the `TuningEnv` abstraction of the DBMS services the paper
+//! * [`session`] — the online [`session::TuningSession`] API: the
+//!   event-driven submit-query / vote / read-recommendation interface a
+//!   long-lived tuning service speaks, with the same `totWork` accounting as
+//!   the offline evaluator;
+//! * [`mod@env`] — the `TuningEnv` abstraction of the DBMS services the paper
 //!   requires (what-if optimization, candidate extraction, transition costs),
 //!   implemented by [`simdb::Database`] and by an in-memory [`env::MockEnv`]
 //!   for unit tests and the paper's worked example (Figure 2 / Example 4.1).
@@ -56,6 +60,7 @@ pub mod candidates;
 pub mod config;
 pub mod env;
 pub mod evaluator;
+pub mod session;
 pub mod wfa;
 pub mod wfa_plus;
 pub mod wfit;
@@ -64,6 +69,7 @@ pub use advisor::IndexAdvisor;
 pub use config::WfitConfig;
 pub use env::{MockEnv, TuningEnv};
 pub use evaluator::{Evaluator, RunOptions, RunResult};
+pub use session::{QueryOutcome, SessionStats, TuningSession};
 pub use wfa::WfaInstance;
 pub use wfa_plus::WfaPlus;
 pub use wfit::Wfit;

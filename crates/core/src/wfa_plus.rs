@@ -20,16 +20,17 @@ use simdb::query::Statement;
 /// `chooseCands` always returns the same partition): with a fixed partition
 /// and no candidate maintenance, WFIT degenerates to WFA⁺ plus the feedback
 /// mechanism, which this type implements as well.
-pub struct WfaPlus<'e, E: TuningEnv> {
-    env: &'e E,
+pub struct WfaPlus<E: TuningEnv> {
+    env: E,
     parts: Vec<WfaInstance>,
     name: String,
 }
 
-impl<'e, E: TuningEnv> WfaPlus<'e, E> {
+impl<E: TuningEnv> WfaPlus<E> {
     /// Create WFA⁺ over the given partition, starting from the materialized
-    /// set `initial`.
-    pub fn new(env: &'e E, partition: &[Vec<IndexId>], initial: &IndexSet) -> Self {
+    /// set `initial`.  The environment is taken by value (`&db` or an
+    /// `Arc`-backed handle both work, see [`TuningEnv`]).
+    pub fn new(env: E, partition: &[Vec<IndexId>], initial: &IndexSet) -> Self {
         let parts = partition
             .iter()
             .filter(|p| !p.is_empty())
@@ -69,7 +70,7 @@ impl<'e, E: TuningEnv> WfaPlus<'e, E> {
     }
 }
 
-impl<'e, E: TuningEnv> IndexAdvisor for WfaPlus<'e, E> {
+impl<E: TuningEnv> IndexAdvisor for WfaPlus<E> {
     fn analyze_query(&mut self, stmt: &Statement) {
         // Build one IBG per statement over the candidates relevant to it, so
         // that each per-part configuration cost is an (amortized) cache lookup

@@ -18,8 +18,8 @@ use simdb::query::Statement;
 /// See Figure 4 of the paper for the interface this mirrors:
 /// `analyzeQuery`, `recommend` and `feedback`, with `chooseCands` and
 /// `repartition` as internal steps of `analyzeQuery`.
-pub struct Wfit<'e, E: TuningEnv> {
-    env: &'e E,
+pub struct Wfit<E: TuningEnv> {
+    env: E,
     config: WfitConfig,
     pool: CandidatePool,
     partition: Partition,
@@ -36,20 +36,24 @@ pub struct Wfit<'e, E: TuningEnv> {
     name: String,
 }
 
-impl<'e, E: TuningEnv> Wfit<'e, E> {
+impl<E: TuningEnv> Wfit<E> {
     /// Create a WFIT instance starting from an empty materialized set.
-    pub fn new(env: &'e E, config: WfitConfig) -> Self {
+    ///
+    /// The environment is taken **by value**: pass `&db` for a borrowed
+    /// advisor (the harness style) or an `Arc<Database>`-backed environment
+    /// for an owned, `'static` one (the tuning-service style).
+    pub fn new(env: E, config: WfitConfig) -> Self {
         Self::with_initial(env, config, IndexSet::empty())
     }
 
     /// Create a WFIT instance starting from the materialized set `initial`
     /// (`S0` in the paper); per the initialization in Figure 4, the initial
     /// candidate set is `S0` with singleton parts.
-    pub fn with_initial(env: &'e E, config: WfitConfig, initial: IndexSet) -> Self {
+    pub fn with_initial(env: E, config: WfitConfig, initial: IndexSet) -> Self {
         let partition: Partition = normalize(initial.iter().map(|id| vec![id]).collect());
         let parts = partition
             .iter()
-            .map(|part| new_instance(env, part, &initial))
+            .map(|part| new_instance(&env, part, &initial))
             .collect();
         let rng = StdRng::seed_from_u64(config.partition_seed);
         let mut pool = CandidatePool::new(config.hist_size);
@@ -74,7 +78,7 @@ impl<'e, E: TuningEnv> Wfit<'e, E> {
     /// simplified variant used by the paper's Figures 8–11 ("chooseCands
     /// always returns {C1, …, CK}").  Candidate maintenance is disabled.
     pub fn with_fixed_partition(
-        env: &'e E,
+        env: E,
         config: WfitConfig,
         partition: Partition,
         initial: IndexSet,
@@ -82,7 +86,7 @@ impl<'e, E: TuningEnv> Wfit<'e, E> {
         let partition = normalize(partition);
         let parts = partition
             .iter()
-            .map(|part| new_instance(env, part, &initial))
+            .map(|part| new_instance(&env, part, &initial))
             .collect();
         let rng = StdRng::seed_from_u64(config.partition_seed);
         let mut pool = CandidatePool::new(config.hist_size);
@@ -214,7 +218,7 @@ impl<'e, E: TuningEnv> Wfit<'e, E> {
         let limit = self.config.idx_cnt.saturating_sub(m.len());
         let monitored = self.monitored();
         let mut d = m;
-        d.extend(top_indices(self.env, &self.pool, &rest, &monitored, limit));
+        d.extend(top_indices(&self.env, &self.pool, &rest, &monitored, limit));
         d.sort_unstable();
         d.dedup();
 
@@ -287,7 +291,7 @@ fn new_instance<E: TuningEnv>(env: &E, part: &[IndexId], initial: &IndexSet) -> 
     WfaInstance::new(part.to_vec(), create, drop, initial)
 }
 
-impl<'e, E: TuningEnv> IndexAdvisor for Wfit<'e, E> {
+impl<E: TuningEnv> IndexAdvisor for Wfit<E> {
     fn analyze_query(&mut self, stmt: &Statement) {
         self.statements += 1;
 
@@ -351,7 +355,7 @@ impl<'e, E: TuningEnv> IndexAdvisor for Wfit<'e, E> {
             for id in unknown_positive {
                 let part = vec![id];
                 self.parts
-                    .push(new_instance(self.env, &part, &self.initial));
+                    .push(new_instance(&self.env, &part, &self.initial));
                 self.partition.push(part);
             }
             self.partition = normalize(std::mem::take(&mut self.partition));

@@ -25,7 +25,11 @@
 //!   a tolerance-aware diff for golden files.
 //!
 //! The canonical scenarios (the paper's Figures 8–12, overhead, ablations,
-//! and the miniature golden variants) live in [`scenarios`].
+//! and the miniature golden variants) live in [`scenarios`].  Multi-tenant
+//! **service** scenarios — many workload streams pushed through
+//! [`service::TuningService`] with shared per-tenant what-if caches — live
+//! in [`service_run`] and report through the same [`RunReport`] (plus a
+//! [`report::ServiceSummary`] block).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -34,9 +38,11 @@ pub mod json;
 pub mod report;
 pub mod runner;
 pub mod scenarios;
+pub mod service_run;
 pub mod spec;
 
 pub use json::Json;
-pub use report::{CellReport, RunReport};
+pub use report::{CellReport, RunReport, ServiceSummary};
 pub use runner::{run_scenario, ScenarioContext};
+pub use service_run::{run_service_scenario, ServiceScenarioSpec, ServiceSessionSpec};
 pub use spec::{AcceptanceSpec, AdvisorSpec, CellSpec, FeedbackEvent, FeedbackSpec, ScenarioSpec};

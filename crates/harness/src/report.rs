@@ -82,6 +82,56 @@ impl CellReport {
     }
 }
 
+/// Service-level metrics of a multi-tenant run (present only for scenarios
+/// replayed through `crates/service`).
+///
+/// The event counts and cache counters are deterministic and belong to the
+/// golden-file JSON; the throughput and latency numbers are wall-clock
+/// derived and only appear in [`RunReport::to_json_with_timing`].
+#[derive(Debug, Clone, Default)]
+pub struct ServiceSummary {
+    /// Number of tenants the service hosted.
+    pub tenants: usize,
+    /// Number of tuning sessions across all tenants.
+    pub sessions: usize,
+    /// Query events processed.
+    pub query_events: u64,
+    /// DBA-feedback (vote) events processed.
+    pub vote_events: u64,
+    /// What-if requests against the tenants' shared caches (summed).
+    pub cache_requests: u64,
+    /// Requests answered from a shared cache (summed).
+    pub cache_hits: u64,
+    /// `cache_hits / cache_requests` (0.0 when no request was made).
+    pub cache_hit_rate: f64,
+    /// Events processed per wall-clock second (timing JSON only).
+    pub events_per_sec: f64,
+    /// Median per-event latency in microseconds (timing JSON only).
+    pub latency_p50_us: u64,
+    /// 99th-percentile per-event latency in microseconds (timing JSON only).
+    pub latency_p99_us: u64,
+}
+
+impl ServiceSummary {
+    fn to_json(&self, with_timing: bool) -> Json {
+        let mut fields = vec![
+            ("tenants", Json::Num(self.tenants as f64)),
+            ("sessions", Json::Num(self.sessions as f64)),
+            ("query_events", Json::Num(self.query_events as f64)),
+            ("vote_events", Json::Num(self.vote_events as f64)),
+            ("cache_requests", Json::Num(self.cache_requests as f64)),
+            ("cache_hits", Json::Num(self.cache_hits as f64)),
+            ("cache_hit_rate", Json::Num(self.cache_hit_rate)),
+        ];
+        if with_timing {
+            fields.push(("events_per_sec", Json::Num(self.events_per_sec)));
+            fields.push(("latency_p50_us", Json::Num(self.latency_p50_us as f64)));
+            fields.push(("latency_p99_us", Json::Num(self.latency_p99_us as f64)));
+        }
+        Json::obj(fields)
+    }
+}
+
 /// The structured result of replaying one scenario.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -95,12 +145,16 @@ pub struct RunReport {
     pub candidates: usize,
     /// Number of parts in the offline stable partition.
     pub partition_parts: usize,
-    /// Total work of the OPT oracle (the `OPT = 1` normalizer).
+    /// Total work of the OPT oracle (the `OPT = 1` normalizer).  For
+    /// multi-tenant service runs this is the **sum** of the per-tenant OPT
+    /// totals; each cell's `opt_ratio` is still relative to its own tenant.
     pub opt_total: f64,
     /// Checkpoint positions shared by every cell's ratio series.
     pub checkpoints: Vec<usize>,
     /// One report per cell, in spec order.
     pub cells: Vec<CellReport>,
+    /// Service-level metrics (multi-tenant runs only).
+    pub service: Option<ServiceSummary>,
 }
 
 impl RunReport {
@@ -117,7 +171,7 @@ impl RunReport {
     }
 
     fn json_value(&self, with_timing: bool) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("scenario", Json::Str(self.scenario.clone())),
             ("seed", Json::Num(self.seed as f64)),
             ("statements", Json::Num(self.statements as f64)),
@@ -137,7 +191,11 @@ impl RunReport {
                 "cells",
                 Json::Arr(self.cells.iter().map(|c| c.to_json(with_timing)).collect()),
             ),
-        ])
+        ];
+        if let Some(service) = &self.service {
+            fields.push(("service", service.to_json(with_timing)));
+        }
+        Json::obj(fields)
     }
 
     /// Find a cell by label.
@@ -167,6 +225,7 @@ mod tests {
             partition_parts: 3,
             opt_total: 1000.5,
             checkpoints: vec![8, 16],
+            service: None,
             cells: vec![CellReport {
                 label: "WFIT".into(),
                 advisor: "WFIT-fixed".into(),
@@ -210,6 +269,32 @@ mod tests {
         worse.cells[0].total_work *= 1.10;
         let diffs = worse.diff_against_golden(&r.to_json(), 1e-6).unwrap();
         assert!(diffs.iter().any(|d| d.contains("total_work")), "{diffs:?}");
+    }
+
+    #[test]
+    fn service_summary_renders_deterministic_and_timing_fields() {
+        let mut r = sample();
+        r.service = Some(ServiceSummary {
+            tenants: 3,
+            sessions: 9,
+            query_events: 96,
+            vote_events: 6,
+            cache_requests: 1000,
+            cache_hits: 700,
+            cache_hit_rate: 0.7,
+            events_per_sec: 123.4,
+            latency_p50_us: 10,
+            latency_p99_us: 50,
+        });
+        let stable = r.to_json();
+        assert!(stable.contains("cache_hit_rate"));
+        // Wall-clock service metrics never reach the golden-file rendering.
+        assert!(!stable.contains("events_per_sec"));
+        assert!(!stable.contains("latency_p99_us"));
+        let timing = r.to_json_with_timing();
+        assert!(timing.contains("events_per_sec") && timing.contains("latency_p99_us"));
+        let diffs = r.diff_against_golden(&stable, 1e-9).unwrap();
+        assert!(diffs.is_empty(), "{diffs:?}");
     }
 
     #[test]

@@ -97,13 +97,7 @@ impl ScenarioContext {
     /// Checkpoint positions (x-axis of the figures): every eighth of the
     /// workload plus the final statement.
     pub fn checkpoints(&self) -> Vec<usize> {
-        let n = self.bench.len();
-        let mut points: Vec<usize> = (1..=8).map(|i| i * n / 8).collect();
-        points.dedup();
-        if *points.last().unwrap_or(&0) != n {
-            points.push(n);
-        }
-        points
+        checkpoint_positions(self.bench.len())
     }
 
     /// The paper's performance metric at a checkpoint:
@@ -229,6 +223,7 @@ impl ScenarioContext {
             opt_total: self.opt.total,
             checkpoints: self.checkpoints(),
             cells,
+            service: None,
         }
     }
 
@@ -272,12 +267,24 @@ pub fn run_scenario(spec: ScenarioSpec) -> RunReport {
     ScenarioContext::prepare(spec).run()
 }
 
+/// Checkpoint positions over a workload of `n` statements: every eighth plus
+/// the final statement.  Shared by the offline replay and the service
+/// scenarios so both report families use identical x-axes.
+pub(crate) fn checkpoint_positions(n: usize) -> Vec<usize> {
+    let mut points: Vec<usize> = (1..=8).map(|i| i * n / 8).collect();
+    points.dedup();
+    if *points.last().unwrap_or(&0) != n {
+        points.push(n);
+    }
+    points
+}
+
 /// The advisor fleet member built for one cell, with uniform access to the
 /// per-advisor overhead metrics where they exist.  The WFIT state machine is
 /// boxed: it dwarfs the other variants and one allocation per cell is free.
 enum BuiltAdvisor<'e> {
-    Wfit(Box<Wfit<'e, Database>>),
-    Bc(BruchoChaudhuriAdvisor<'e, Database>),
+    Wfit(Box<Wfit<&'e Database>>),
+    Bc(BruchoChaudhuriAdvisor<&'e Database>),
     NoIndex(NoIndexAdvisor),
     All(AllCandidatesAdvisor, usize),
 }

@@ -7,6 +7,7 @@
 //! `WFIT_PHASE_LEN` environment variable is the job of the bench entry
 //! points (`crates/bench`), never of the harness.
 
+use crate::service_run::ServiceScenarioSpec;
 use crate::spec::{AdvisorSpec, CellSpec, FeedbackEvent, FeedbackSpec, ScenarioSpec};
 use wfit_core::config::WfitConfig;
 
@@ -204,6 +205,22 @@ pub fn fig11_mini() -> ScenarioSpec {
     spec
 }
 
+/// The multi-tenant service throughput scenario: `tenants` independent
+/// workload streams, each served by a WFIT-500 / WFIT-IND / BC session fleet
+/// over a shared per-tenant what-if cache, with periodic DBA votes.  This is
+/// the hot path the service layer exists for — use
+/// [`crate::run_service_scenario`] to replay it.
+pub fn service_throughput(tenants: usize, statements_per_phase: usize) -> ServiceScenarioSpec {
+    ServiceScenarioSpec::new("service-throughput", tenants, statements_per_phase)
+        .with_feedback_every(16)
+}
+
+/// Miniature service scenario for the golden suite: three tenants, the full
+/// fleet, shared caches, scheduled votes; small enough for tier-1 test time.
+pub fn service_mini() -> ServiceScenarioSpec {
+    ServiceScenarioSpec::new("service-mini", 3, MINI_PHASE_LEN).with_feedback_every(16)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +249,21 @@ mod tests {
     fn fig8_state_cnt_sweep_requires_extra_selections() {
         let cnts = fig8(10).state_cnts_needed();
         assert!(cnts.contains(&2000) && cnts.contains(&500) && cnts.contains(&100));
+    }
+
+    #[test]
+    fn service_scenarios_are_parameterized_consistently() {
+        let mini = service_mini();
+        assert_eq!(mini.tenants, 3);
+        assert_eq!(mini.statements_per_phase, MINI_PHASE_LEN);
+        assert_eq!(mini.sessions.len(), 3);
+        assert!(mini.shared_cache);
+        assert_eq!(mini.feedback_every, 16);
+        let big = service_throughput(8, 60);
+        assert_eq!(big.tenants, 8);
+        assert_eq!(big.statements_per_tenant(), 8 * 60);
+        // Tenant seeds are decorrelated but reproducible.
+        assert_ne!(big.tenant_seed(0), big.tenant_seed(1));
+        assert_eq!(big.tenant_seed(5), service_throughput(8, 60).tenant_seed(5));
     }
 }

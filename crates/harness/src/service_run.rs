@@ -1,0 +1,445 @@
+//! Deterministic multi-tenant **service** scenarios.
+//!
+//! Where [`crate::runner`] replays one workload against a fleet of advisors
+//! through the offline [`wfit_core::Evaluator`], this module replays *many*
+//! workloads — one per tenant — through the long-running
+//! [`service::TuningService`]: statements and votes are submitted as
+//! [`service::Event`]s interleaved round-robin across tenants, sharded by
+//! tenant id, and drained by the service's scoped worker pool.  The result
+//! is the same structured [`RunReport`], with one cell per
+//! (tenant × session) and a [`ServiceSummary`] carrying the service-level
+//! metrics (event counts, shared-cache hit rate, throughput, latency).
+//!
+//! Determinism contract: per-tenant event order is fixed by the spec, each
+//! tenant is drained sequentially by one worker, and tenants share no
+//! mutable state — so every metric except wall-clock throughput/latency is
+//! bit-identical across runs at the same seed, which is what lets the
+//! multi-tenant scenario live in the golden regression suite.
+
+use std::sync::Arc;
+
+use advisors::{compute_optimal, BruchoChaudhuriAdvisor, OptSchedule};
+use service::{Event, TenantEnv, TuningService};
+use simdb::index::IndexSet;
+use wfit_core::candidates::{offline_selection, OfflineSelection};
+use wfit_core::config::WfitConfig;
+use wfit_core::{IndexAdvisor, Wfit};
+use workload::{Benchmark, BenchmarkSpec};
+
+use crate::report::{CellReport, RunReport, ServiceSummary};
+
+/// Which advisor one session of every tenant runs.
+#[derive(Debug, Clone)]
+pub enum ServiceSessionSpec {
+    /// WFIT with the tenant's fixed offline partition mined for `state_cnt`.
+    WfitFixed {
+        /// `stateCnt` for the offline partition and the advisor.
+        state_cnt: u64,
+    },
+    /// WFIT with every offline candidate in its own part (WFIT-IND).
+    WfitIndependent,
+    /// The Bruno–Chaudhuri baseline over the tenant's offline candidates.
+    Bc,
+}
+
+impl ServiceSessionSpec {
+    fn label(&self) -> String {
+        match self {
+            ServiceSessionSpec::WfitFixed { state_cnt } => format!("WFIT-{state_cnt}"),
+            ServiceSessionSpec::WfitIndependent => "WFIT-IND".to_string(),
+            ServiceSessionSpec::Bc => "BC".to_string(),
+        }
+    }
+}
+
+/// A declarative multi-tenant service scenario: `tenants` independent
+/// workload streams (same phase structure, per-tenant seeds derived from
+/// `seed`), each served by the same session fleet, processed by one
+/// [`service::TuningService`].
+#[derive(Debug, Clone)]
+pub struct ServiceScenarioSpec {
+    /// Scenario name (used in reports and golden file names).
+    pub name: String,
+    /// Number of tenants (independent databases + workloads).
+    pub tenants: usize,
+    /// Statements per phase of every tenant's workload.
+    pub statements_per_phase: usize,
+    /// Base seed; tenant `t` replays seed `mix(seed, t)`.
+    pub seed: u64,
+    /// The session fleet instantiated for every tenant.
+    pub sessions: Vec<ServiceSessionSpec>,
+    /// `stateCnt` for the offline candidate selection and the OPT oracle.
+    pub selection_state_cnt: u64,
+    /// Whether tenants get a shared what-if cache (`false` is the control
+    /// arm: every request runs the optimizer).
+    pub shared_cache: bool,
+    /// Deliver a vote event (approve the tenant's top offline candidate,
+    /// reject its last) after every `feedback_every`-th statement; 0
+    /// disables feedback.
+    pub feedback_every: usize,
+}
+
+impl ServiceScenarioSpec {
+    /// A scenario with the default fleet (WFIT-500, WFIT-IND, BC per
+    /// tenant), shared caches and no feedback.
+    pub fn new(name: impl Into<String>, tenants: usize, statements_per_phase: usize) -> Self {
+        Self {
+            name: name.into(),
+            tenants,
+            statements_per_phase,
+            seed: BenchmarkSpec::default().seed,
+            sessions: vec![
+                ServiceSessionSpec::WfitFixed { state_cnt: 500 },
+                ServiceSessionSpec::WfitIndependent,
+                ServiceSessionSpec::Bc,
+            ],
+            selection_state_cnt: 500,
+            shared_cache: true,
+            feedback_every: 0,
+        }
+    }
+
+    /// Override the base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the per-tenant session fleet.
+    pub fn with_sessions(mut self, sessions: Vec<ServiceSessionSpec>) -> Self {
+        self.sessions = sessions;
+        self
+    }
+
+    /// Enable or disable the shared what-if caches.
+    pub fn with_shared_cache(mut self, shared: bool) -> Self {
+        self.shared_cache = shared;
+        self
+    }
+
+    /// Schedule periodic feedback events.
+    pub fn with_feedback_every(mut self, every: usize) -> Self {
+        self.feedback_every = every;
+        self
+    }
+
+    /// The seed tenant `t` generates its workload from (a splitmix64 step
+    /// over the base seed, so tenant workloads are decorrelated but fully
+    /// reproducible).
+    pub fn tenant_seed(&self, tenant: usize) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Statements per tenant.
+    pub fn statements_per_tenant(&self) -> usize {
+        self.statements_per_phase * workload::default_phases().len()
+    }
+}
+
+/// One tenant's prepared state: the database (ready to be shared with the
+/// service), the workload statements, the offline selections and the OPT
+/// reference curve.
+struct PreparedTenant {
+    db: Arc<simdb::Database>,
+    statements: Vec<simdb::Statement>,
+    selections: Vec<(u64, OfflineSelection)>,
+    opt: OptSchedule,
+}
+
+impl PreparedTenant {
+    fn prepare(spec: &ServiceScenarioSpec, tenant: usize) -> Self {
+        let bench = Benchmark::generate(BenchmarkSpec {
+            statements_per_phase: spec.statements_per_phase,
+            seed: spec.tenant_seed(tenant),
+            phases: workload::default_phases(),
+        });
+        let mut state_cnts = vec![spec.selection_state_cnt];
+        for session in &spec.sessions {
+            if let ServiceSessionSpec::WfitFixed { state_cnt } = session {
+                if !state_cnts.contains(state_cnt) {
+                    state_cnts.push(*state_cnt);
+                }
+            }
+        }
+        let selections: Vec<(u64, OfflineSelection)> = state_cnts
+            .into_iter()
+            .map(|cnt| {
+                let config = WfitConfig::with_state_cnt(cnt);
+                (
+                    cnt,
+                    offline_selection(&bench.db, &bench.statements, &config),
+                )
+            })
+            .collect();
+        let opt = compute_optimal(
+            &bench.db,
+            &bench.statements,
+            &selections[0].1.partition,
+            &IndexSet::empty(),
+        );
+        // Move the database out of the benchmark: its index registry holds
+        // the candidate ids the selections refer to, so the *same* instance
+        // must back the service tenant.
+        let Benchmark { db, statements, .. } = bench;
+        Self {
+            db: Arc::new(db),
+            statements,
+            selections,
+            opt,
+        }
+    }
+
+    fn selection_for(&self, state_cnt: u64) -> &OfflineSelection {
+        self.selections
+            .iter()
+            .find(|(c, _)| *c == state_cnt)
+            .map(|(_, s)| s)
+            .expect("offline selection prepared for every requested stateCnt")
+    }
+
+    fn default_selection(&self) -> &OfflineSelection {
+        &self.selections[0].1
+    }
+}
+
+fn build_advisor(
+    spec: &ServiceSessionSpec,
+    prepared: &PreparedTenant,
+    env: TenantEnv,
+) -> Box<dyn IndexAdvisor + Send> {
+    match spec {
+        ServiceSessionSpec::WfitFixed { state_cnt } => Box::new(Wfit::with_fixed_partition(
+            env,
+            WfitConfig::with_state_cnt(*state_cnt),
+            prepared.selection_for(*state_cnt).partition.clone(),
+            IndexSet::empty(),
+        )),
+        ServiceSessionSpec::WfitIndependent => {
+            let partition = prepared
+                .default_selection()
+                .candidates
+                .iter()
+                .map(|&c| vec![c])
+                .collect();
+            Box::new(
+                Wfit::with_fixed_partition(
+                    env,
+                    WfitConfig::independent(),
+                    partition,
+                    IndexSet::empty(),
+                )
+                .with_name("WFIT-IND"),
+            )
+        }
+        ServiceSessionSpec::Bc => Box::new(BruchoChaudhuriAdvisor::new(
+            env,
+            prepared.default_selection().candidates.clone(),
+            &IndexSet::empty(),
+        )),
+    }
+}
+
+/// Replay a multi-tenant service scenario into a [`RunReport`].
+///
+/// Preparation (workload generation, offline analysis, OPT) runs one thread
+/// per tenant — tenants are fully independent, so this is deterministic —
+/// and the event stream is then pushed through a [`TuningService`] in a
+/// single batch.
+pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
+    assert!(
+        spec.tenants > 0,
+        "service scenario needs at least one tenant"
+    );
+    assert!(
+        !spec.sessions.is_empty(),
+        "service scenario needs at least one session per tenant"
+    );
+
+    // Per-tenant offline preparation, in parallel (order restored by index).
+    let prepared: Vec<PreparedTenant> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.tenants)
+            .map(|t| scope.spawn(move || PreparedTenant::prepare(spec, t)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tenant preparation panicked"))
+            .collect()
+    });
+
+    // Assemble the service: one tenant + fleet per prepared workload, all
+    // backed by the prepared database instances (whose registries hold the
+    // candidate ids the offline selections refer to).
+    let mut svc = TuningService::with_workers(spec.tenants);
+    let mut tenant_ids = Vec::with_capacity(spec.tenants);
+    for (t, prep) in prepared.iter().enumerate() {
+        let id = if spec.shared_cache {
+            svc.add_tenant(format!("tenant-{t}"), prep.db.clone())
+        } else {
+            svc.add_tenant_uncached(format!("tenant-{t}"), prep.db.clone())
+        };
+        for session in &spec.sessions {
+            svc.add_session(id, session.label(), |env| build_advisor(session, prep, env));
+        }
+        tenant_ids.push(id);
+    }
+
+    // Interleave the tenants' workloads round-robin, mimicking concurrent
+    // arrival, with scheduled votes woven in per tenant.
+    let per_tenant = prepared[0].statements.len();
+    for pos in 0..per_tenant {
+        for (t, prep) in prepared.iter().enumerate() {
+            svc.submit(Event::query(
+                tenant_ids[t],
+                Arc::new(prep.statements[pos].clone()),
+            ));
+            if spec.feedback_every > 0 && (pos + 1) % spec.feedback_every == 0 {
+                let candidates = &prep.default_selection().candidates;
+                let approve = candidates.first().map(|&c| IndexSet::single(c));
+                let reject = candidates.last().filter(|_| candidates.len() > 1);
+                svc.submit(Event::vote(
+                    tenant_ids[t],
+                    approve.unwrap_or_else(IndexSet::empty),
+                    reject
+                        .map(|&c| IndexSet::single(c))
+                        .unwrap_or_else(IndexSet::empty),
+                ));
+            }
+        }
+    }
+
+    let query_events = (per_tenant * spec.tenants) as u64;
+    let total_events = svc.pending() as u64;
+    let batch = svc.process_pending();
+    assert_eq!(batch.events, total_events);
+
+    // Cells: one per (tenant × session), ratios against the tenant's OPT.
+    let checkpoints = crate::runner::checkpoint_positions(per_tenant);
+    let mut cells = Vec::with_capacity(spec.tenants * spec.sessions.len());
+    for (t, prep) in prepared.iter().enumerate() {
+        for (s, session_spec) in spec.sessions.iter().enumerate() {
+            let id = service::SessionId::new(tenant_ids[t], s);
+            let stats = svc.session_stats(id);
+            let series = svc.cost_series(id);
+            let ratio_at = |n: usize| -> f64 {
+                let alg = if n == 0 { 0.0 } else { series[n - 1] };
+                if alg <= 0.0 {
+                    1.0
+                } else {
+                    prep.opt.cumulative_at(n) / alg
+                }
+            };
+            cells.push(CellReport {
+                label: format!("t{t}/{}", session_spec.label()),
+                advisor: svc.session_advisor_name(id),
+                total_work: stats.total_work,
+                query_cost: stats.query_cost,
+                transition_cost: stats.transition_cost,
+                transitions: stats.transitions as usize,
+                opt_ratio: ratio_at(per_tenant),
+                ratio_series: checkpoints.iter().map(|&n| (n, ratio_at(n))).collect(),
+                whatif_calls: svc.session_whatif_requests(id),
+                repartitions: 0,
+                states_tracked: 0,
+                monitored: prep.default_selection().candidates.len(),
+                final_config_size: stats.configuration_size,
+                wall_time_ms: 0.0,
+            });
+        }
+    }
+
+    let cache = svc.aggregate_cache_stats();
+    RunReport {
+        scenario: spec.name.clone(),
+        seed: spec.seed,
+        statements: per_tenant * spec.tenants,
+        candidates: prepared
+            .iter()
+            .map(|p| p.default_selection().candidates.len())
+            .sum(),
+        partition_parts: prepared
+            .iter()
+            .map(|p| p.default_selection().partition.len())
+            .sum(),
+        opt_total: prepared.iter().map(|p| p.opt.total).sum(),
+        checkpoints,
+        cells,
+        service: Some(ServiceSummary {
+            tenants: spec.tenants,
+            sessions: svc.session_count(),
+            query_events,
+            vote_events: total_events - query_events,
+            cache_requests: cache.requests,
+            cache_hits: cache.cache_hits,
+            cache_hit_rate: cache.hit_rate(),
+            events_per_sec: batch.events_per_sec(),
+            latency_p50_us: batch.p50_us(),
+            latency_p99_us: batch.p99_us(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(name: &str) -> ServiceScenarioSpec {
+        ServiceScenarioSpec::new(name, 2, 2).with_feedback_every(8)
+    }
+
+    #[test]
+    fn service_scenario_produces_one_cell_per_tenant_session() {
+        let spec = tiny("svc-tiny");
+        let report = run_service_scenario(&spec);
+        assert_eq!(report.cells.len(), 2 * 3);
+        assert_eq!(report.statements, 2 * 16);
+        let service = report.service.as_ref().expect("service block present");
+        assert_eq!(service.tenants, 2);
+        assert_eq!(service.sessions, 6);
+        assert_eq!(service.query_events, 32);
+        assert_eq!(service.vote_events, 2 * 2); // one vote per 8 statements
+        assert!(service.cache_requests > 0);
+        assert!(service.cache_hit_rate > 0.0 && service.cache_hit_rate < 1.0);
+        // Per-tenant OPT lower-bounds every session of that tenant; the
+        // summed opt_total lower-bounds the summed total work per fleet slot.
+        for cell in &report.cells {
+            assert!(
+                cell.opt_ratio > 0.0 && cell.opt_ratio <= 1.0 + 1e-9,
+                "{}",
+                cell.label
+            );
+            assert!(
+                (cell.query_cost + cell.transition_cost - cell.total_work).abs() < 1e-6,
+                "{}",
+                cell.label
+            );
+            assert_eq!(cell.ratio_series.len(), report.checkpoints.len());
+        }
+        // Deterministic rendering round-trips.
+        let diffs = report.diff_against_golden(&report.to_json(), 1e-9).unwrap();
+        assert!(diffs.is_empty(), "{diffs:?}");
+    }
+
+    #[test]
+    fn cached_and_uncached_runs_agree_on_costs() {
+        let cached = run_service_scenario(&tiny("svc-cache"));
+        let uncached = run_service_scenario(&tiny("svc-cache").with_shared_cache(false));
+        assert_eq!(cached.cells.len(), uncached.cells.len());
+        for (c, u) in cached.cells.iter().zip(&uncached.cells) {
+            assert_eq!(c.label, u.label);
+            assert_eq!(
+                c.total_work.to_bits(),
+                u.total_work.to_bits(),
+                "{}",
+                c.label
+            );
+            assert_eq!(c.ratio_series, u.ratio_series, "{}", c.label);
+        }
+        let service = uncached.service.as_ref().unwrap();
+        assert_eq!(service.cache_requests, 0, "uncached arm bypasses the cache");
+    }
+}

@@ -7,7 +7,7 @@
 //! for `Y` actually *uses*.  Because removing an unused index never changes
 //! the plan, the cost of an arbitrary `Y` can be recovered by walking from the
 //! root and repeatedly removing used indices that are not in `Y` — this is the
-//! standard IBG lookup of Schnaitter et al. [16].
+//! standard IBG lookup of Schnaitter et al. \[16\].
 //!
 //! Construction issues one what-if optimization per node, which is how the
 //! paper keeps candidate-set maintenance affordable ("the IBG compactly

@@ -4,7 +4,7 @@
 //! different parts never interact (equation 2.1 in the paper), so index
 //! selection can proceed independently within each part.  The minimum stable
 //! partition is given by the connected components of the binary relation
-//! "`a` and `b` interact" [16].  When the minimum stable partition is too
+//! "`a` and `b` interact" \[16\].  When the minimum stable partition is too
 //! large to track (`Σ 2^|P_k| > stateCnt`), weak interactions are dropped; the
 //! resulting error is bounded by the *loss* of the partition — the total
 //! degree of interaction across parts.

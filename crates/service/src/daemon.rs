@@ -1,0 +1,533 @@
+//! The multi-tenant tuning service: tenant registry, event queues, and the
+//! scoped worker pool that drains them.
+
+use crate::env::TenantEnv;
+use crate::event::{Event, SessionId, TenantId};
+use simdb::database::Database;
+use simdb::index::IndexSet;
+use simdb::whatif::WhatIfStats;
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+use wfit_core::evaluator::AcceptancePolicy;
+use wfit_core::{IndexAdvisor, SessionStats, TuningSession};
+
+/// The session type hosted by the service: an owned environment driving a
+/// boxed advisor, so heterogeneous fleets (WFIT, BC, …) live in one registry.
+pub type ServiceSession = TuningSession<TenantEnv, Box<dyn IndexAdvisor + Send>>;
+
+struct SessionSlot {
+    label: String,
+    /// The per-session environment fork; shares the tenant cache but owns
+    /// its own what-if request counter.
+    env: TenantEnv,
+    session: ServiceSession,
+}
+
+struct Tenant {
+    name: String,
+    env: TenantEnv,
+    slots: Vec<SessionSlot>,
+    queue: VecDeque<Event>,
+    processed: u64,
+}
+
+impl Tenant {
+    /// Drain this tenant's queue in submission order, fanning each event out
+    /// to every session.  Returns the per-event latencies in microseconds.
+    fn drain(&mut self) -> Vec<u64> {
+        let mut latencies = Vec::with_capacity(self.queue.len());
+        while let Some(event) = self.queue.pop_front() {
+            let start = Instant::now();
+            match &event {
+                Event::Query { statement, .. } => {
+                    for slot in &mut self.slots {
+                        slot.session.submit_query(statement);
+                    }
+                }
+                Event::Vote {
+                    approve, reject, ..
+                } => {
+                    for slot in &mut self.slots {
+                        slot.session.vote(approve, reject);
+                    }
+                }
+            }
+            self.processed += 1;
+            latencies.push(start.elapsed().as_micros() as u64);
+        }
+        latencies
+    }
+}
+
+/// Throughput and latency metrics of one [`TuningService::process_pending`]
+/// batch.
+///
+/// All fields are wall-clock derived and therefore **not** deterministic
+/// across runs; deterministic state (session accounting, cache counters)
+/// lives on the service itself.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReport {
+    /// Number of events processed.
+    pub events: u64,
+    /// Wall-clock duration of the batch in seconds.
+    pub wall_seconds: f64,
+    /// Per-event processing latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl BatchReport {
+    /// Events processed per wall-clock second (0.0 for an empty batch).
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            0.0
+        } else {
+            self.events as f64 / self.wall_seconds
+        }
+    }
+
+    /// Latency percentile in microseconds (`p` in `[0, 1]`; nearest-rank).
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * (self.latencies_us.len() - 1) as f64).round() as usize;
+        self.latencies_us[rank.min(self.latencies_us.len() - 1)]
+    }
+
+    /// Median per-event latency in microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.latency_percentile_us(0.50)
+    }
+
+    /// 99th-percentile per-event latency in microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.latency_percentile_us(0.99)
+    }
+}
+
+/// A long-running, multi-tenant online tuning service.
+///
+/// The service owns a registry of tenants — each a database handle, a shared
+/// what-if cost cache, and a fleet of tuning sessions — plus one pending
+/// event queue per tenant.  [`TuningService::submit`] shards events across
+/// those queues by tenant id; [`TuningService::process_pending`] drains all
+/// queues with a `std::thread::scope` worker pool.
+///
+/// Two invariants make service runs reproducible:
+///
+/// * events of one tenant are processed **in submission order** by a single
+///   worker, so every session's state evolution is deterministic;
+/// * tenants never share mutable state — parallelism across tenants cannot
+///   change any per-tenant result, only the wall-clock numbers.
+pub struct TuningService {
+    tenants: Vec<Tenant>,
+    max_workers: usize,
+}
+
+impl Default for TuningService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TuningService {
+    /// An empty service with worker parallelism matching the host.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::with_workers(workers)
+    }
+
+    /// An empty service draining at most `max_workers` tenant queues
+    /// concurrently.
+    pub fn with_workers(max_workers: usize) -> Self {
+        Self {
+            tenants: Vec::new(),
+            max_workers: max_workers.max(1),
+        }
+    }
+
+    /// Register a tenant with a shared what-if cache over its database.
+    pub fn add_tenant(&mut self, name: impl Into<String>, db: Arc<Database>) -> TenantId {
+        self.register(name, TenantEnv::cached(db))
+    }
+
+    /// Register a tenant **without** a shared cache (every what-if request
+    /// runs the optimizer) — the control arm for cache-effect studies.
+    pub fn add_tenant_uncached(&mut self, name: impl Into<String>, db: Arc<Database>) -> TenantId {
+        self.register(name, TenantEnv::uncached(db))
+    }
+
+    fn register(&mut self, name: impl Into<String>, env: TenantEnv) -> TenantId {
+        let id = TenantId(self.tenants.len() as u32);
+        self.tenants.push(Tenant {
+            name: name.into(),
+            env,
+            slots: Vec::new(),
+            queue: VecDeque::new(),
+            processed: 0,
+        });
+        id
+    }
+
+    /// Add a tuning session to a tenant with immediate recommendation
+    /// adoption.  `build` receives the session's environment (sharing the
+    /// tenant's database and cache) and returns the advisor to drive.
+    pub fn add_session(
+        &mut self,
+        tenant: TenantId,
+        label: impl Into<String>,
+        build: impl FnOnce(TenantEnv) -> Box<dyn IndexAdvisor + Send>,
+    ) -> SessionId {
+        self.add_session_with_policy(tenant, label, AcceptancePolicy::Immediate, build)
+    }
+
+    /// Add a tuning session with an explicit adoption policy.
+    pub fn add_session_with_policy(
+        &mut self,
+        tenant: TenantId,
+        label: impl Into<String>,
+        policy: AcceptancePolicy,
+        build: impl FnOnce(TenantEnv) -> Box<dyn IndexAdvisor + Send>,
+    ) -> SessionId {
+        let t = self.tenant_mut(tenant);
+        let env = t.env.fork_counter();
+        let advisor = build(env.clone());
+        let session = TuningSession::new(env.clone(), advisor).with_policy(policy);
+        t.slots.push(SessionSlot {
+            label: label.into(),
+            env,
+            session,
+        });
+        SessionId::new(tenant, t.slots.len() - 1)
+    }
+
+    /// The tenant-level environment (shared database + cache).  Useful for
+    /// preparing statements or inspecting the cache outside any session.
+    pub fn env(&self, tenant: TenantId) -> TenantEnv {
+        self.tenant_ref(tenant).env.clone()
+    }
+
+    /// Queue an event for its tenant.  Events are processed by the next
+    /// [`TuningService::process_pending`] call, in submission order per
+    /// tenant.
+    pub fn submit(&mut self, event: Event) {
+        self.tenant_mut(event.tenant()).queue.push_back(event);
+    }
+
+    /// Number of queued, not-yet-processed events across all tenants.
+    pub fn pending(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// Drain every tenant queue, processing tenants in parallel with a
+    /// `std::thread::scope` worker pool (at most `max_workers` threads; each
+    /// tenant's events stay in order on one worker).
+    ///
+    /// Tenants are balanced across workers by **pending event count**
+    /// (longest-queue-first onto the lightest bin), so a skewed event
+    /// distribution does not serialize behind one thread.  Assignment only
+    /// affects wall-clock numbers, never per-tenant results.
+    pub fn process_pending(&mut self) -> BatchReport {
+        let total: u64 = self.tenants.iter().map(|t| t.queue.len() as u64).sum();
+        if total == 0 {
+            return BatchReport::default();
+        }
+        let start = Instant::now();
+        let mut busy: Vec<&mut Tenant> = self
+            .tenants
+            .iter_mut()
+            .filter(|t| !t.queue.is_empty())
+            .collect();
+        busy.sort_by_key(|t| std::cmp::Reverse(t.queue.len()));
+        let workers = self.max_workers.min(busy.len()).max(1);
+        let mut bins: Vec<Vec<&mut Tenant>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut loads = vec![0usize; workers];
+        for tenant in busy {
+            let lightest = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &load)| load)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            loads[lightest] += tenant.queue.len();
+            bins[lightest].push(tenant);
+        }
+        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = bins
+                .into_iter()
+                .map(|bin| {
+                    scope.spawn(move || {
+                        let mut lat = Vec::new();
+                        for tenant in bin {
+                            lat.extend(tenant.drain());
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("service worker panicked"))
+                .collect()
+        });
+        latencies.sort_unstable();
+        BatchReport {
+            events: total,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            latencies_us: latencies,
+        }
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Number of sessions across all tenants.
+    pub fn session_count(&self) -> usize {
+        self.tenants.iter().map(|t| t.slots.len()).sum()
+    }
+
+    /// All session ids, grouped by tenant in registration order.
+    pub fn session_ids(&self) -> Vec<SessionId> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .flat_map(|(t, tenant)| {
+                (0..tenant.slots.len()).map(move |i| SessionId::new(TenantId(t as u32), i))
+            })
+            .collect()
+    }
+
+    /// A tenant's display name.
+    pub fn tenant_name(&self, tenant: TenantId) -> &str {
+        &self.tenant_ref(tenant).name
+    }
+
+    /// Events processed so far for a tenant.
+    pub fn tenant_processed(&self, tenant: TenantId) -> u64 {
+        self.tenant_ref(tenant).processed
+    }
+
+    /// Counters of a tenant's shared what-if cache (zeros when the tenant
+    /// was registered uncached).
+    pub fn cache_stats(&self, tenant: TenantId) -> WhatIfStats {
+        self.tenant_ref(tenant).env.cache_stats()
+    }
+
+    /// Cache counters aggregated over all tenants.
+    pub fn aggregate_cache_stats(&self) -> WhatIfStats {
+        self.tenants.iter().fold(WhatIfStats::default(), |acc, t| {
+            acc.merge(&t.env.cache_stats())
+        })
+    }
+
+    /// A session's label.
+    pub fn session_label(&self, id: SessionId) -> &str {
+        &self.slot_ref(id).label
+    }
+
+    /// A session's advisor display name.
+    pub fn session_advisor_name(&self, id: SessionId) -> String {
+        self.slot_ref(id).session.advisor_name()
+    }
+
+    /// A session's aggregate accounting.
+    pub fn session_stats(&self, id: SessionId) -> SessionStats {
+        self.slot_ref(id).session.stats()
+    }
+
+    /// What-if requests issued on behalf of a session (through its forked
+    /// environment counter).
+    pub fn session_whatif_requests(&self, id: SessionId) -> u64 {
+        self.slot_ref(id).env.whatif_requests()
+    }
+
+    /// A session's current recommendation.
+    pub fn recommendation(&self, id: SessionId) -> IndexSet {
+        self.slot_ref(id).session.recommendation()
+    }
+
+    /// A session's currently materialized configuration.
+    pub fn materialized(&self, id: SessionId) -> IndexSet {
+        self.slot_ref(id).session.materialized().clone()
+    }
+
+    /// A session's cumulative total-work series (one entry per query event).
+    pub fn cost_series(&self, id: SessionId) -> &[f64] {
+        self.slot_ref(id).session.cost_series()
+    }
+
+    fn tenant_ref(&self, tenant: TenantId) -> &Tenant {
+        self.tenants
+            .get(tenant.0 as usize)
+            .unwrap_or_else(|| panic!("unknown tenant {tenant:?}"))
+    }
+
+    fn tenant_mut(&mut self, tenant: TenantId) -> &mut Tenant {
+        self.tenants
+            .get_mut(tenant.0 as usize)
+            .unwrap_or_else(|| panic!("unknown tenant {tenant:?}"))
+    }
+
+    fn slot_ref(&self, id: SessionId) -> &SessionSlot {
+        self.tenant_ref(id.tenant)
+            .slots
+            .get(id.index)
+            .unwrap_or_else(|| panic!("unknown session {id:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdb::catalog::CatalogBuilder;
+    use simdb::types::DataType;
+    use wfit_core::{Wfit, WfitConfig};
+
+    fn db() -> Arc<Database> {
+        let mut b = CatalogBuilder::new();
+        b.table("t")
+            .rows(1_000_000.0)
+            .column("a", DataType::Integer, 100_000.0)
+            .column("b", DataType::Integer, 1_000.0)
+            .finish();
+        Arc::new(Database::new(b.build()))
+    }
+
+    fn wfit_builder(env: TenantEnv) -> Box<dyn IndexAdvisor + Send> {
+        Box::new(Wfit::new(env, WfitConfig::default()))
+    }
+
+    fn seeded_service(
+        tenants: usize,
+        sessions_per_tenant: usize,
+    ) -> (TuningService, Vec<TenantId>) {
+        let mut svc = TuningService::with_workers(4);
+        let mut ids = Vec::new();
+        for t in 0..tenants {
+            let id = svc.add_tenant(format!("tenant-{t}"), db());
+            for s in 0..sessions_per_tenant {
+                svc.add_session(id, format!("t{t}/s{s}"), wfit_builder);
+            }
+            ids.push(id);
+        }
+        (svc, ids)
+    }
+
+    #[test]
+    fn events_fan_out_to_every_session_of_their_tenant() {
+        let (mut svc, ids) = seeded_service(2, 2);
+        let q = Arc::new(
+            svc.env(ids[0])
+                .database()
+                .parse("SELECT b FROM t WHERE a = 7")
+                .unwrap(),
+        );
+        for _ in 0..5 {
+            svc.submit(Event::query(ids[0], q.clone()));
+        }
+        assert_eq!(svc.pending(), 5);
+        let batch = svc.process_pending();
+        assert_eq!(batch.events, 5);
+        assert_eq!(svc.pending(), 0);
+        assert_eq!(svc.tenant_processed(ids[0]), 5);
+        assert_eq!(svc.tenant_processed(ids[1]), 0);
+        // Both sessions of tenant 0 saw all five queries; tenant 1 none.
+        assert_eq!(svc.session_stats(SessionId::new(ids[0], 0)).queries, 5);
+        assert_eq!(svc.session_stats(SessionId::new(ids[0], 1)).queries, 5);
+        assert_eq!(svc.session_stats(SessionId::new(ids[1], 0)).queries, 0);
+        assert_eq!(batch.latencies_us.len(), 5);
+        assert!(batch.events_per_sec() > 0.0);
+        assert!(batch.p50_us() <= batch.p99_us());
+    }
+
+    #[test]
+    fn sessions_of_a_tenant_share_the_what_if_cache() {
+        let (mut svc, ids) = seeded_service(1, 2);
+        let q = Arc::new(
+            svc.env(ids[0])
+                .database()
+                .parse("SELECT b FROM t WHERE a = 9")
+                .unwrap(),
+        );
+        svc.submit(Event::query(ids[0], q));
+        svc.process_pending();
+        let stats = svc.cache_stats(ids[0]);
+        // The second session's identical analysis hits what the first one
+        // computed: at least half of all requests are hits.
+        assert!(stats.requests > 0);
+        assert!(
+            stats.cache_hits * 2 >= stats.requests,
+            "expected cross-session hits, stats = {stats:?}"
+        );
+        // Both sessions issued the same number of requests.
+        assert_eq!(
+            svc.session_whatif_requests(SessionId::new(ids[0], 0)),
+            svc.session_whatif_requests(SessionId::new(ids[0], 1)),
+        );
+    }
+
+    #[test]
+    fn votes_reach_only_their_tenant() {
+        let (mut svc, ids) = seeded_service(2, 1);
+        let env = svc.env(ids[0]);
+        let idx = env.database().define_index("t", &["a"]).unwrap();
+        svc.submit(Event::vote(
+            ids[0],
+            IndexSet::single(idx),
+            IndexSet::empty(),
+        ));
+        svc.process_pending();
+        assert_eq!(svc.session_stats(SessionId::new(ids[0], 0)).votes, 1);
+        assert_eq!(svc.session_stats(SessionId::new(ids[1], 0)).votes, 0);
+        assert!(svc.recommendation(SessionId::new(ids[0], 0)).contains(idx));
+        assert!(svc.materialized(SessionId::new(ids[0], 0)).is_empty());
+    }
+
+    #[test]
+    fn parallel_processing_is_deterministic_across_worker_counts() {
+        let run = |workers: usize| {
+            let mut svc = TuningService::with_workers(workers);
+            let mut events = Vec::new();
+            let mut tenants = Vec::new();
+            for t in 0..3 {
+                let handle = db();
+                let id = svc.add_tenant(format!("tenant-{t}"), handle.clone());
+                svc.add_session(id, "wfit", wfit_builder);
+                svc.add_session(id, "wfit-2", wfit_builder);
+                let q = Arc::new(
+                    handle
+                        .parse(&format!("SELECT b FROM t WHERE a = {}", t + 1))
+                        .unwrap(),
+                );
+                for _ in 0..4 {
+                    events.push(Event::query(id, q.clone()));
+                }
+                tenants.push(id);
+            }
+            // Interleave tenants round-robin like a real event stream.
+            for round in 0..4 {
+                for &t in &tenants {
+                    svc.submit(events[t.0 as usize * 4 + round].clone());
+                }
+            }
+            svc.process_pending();
+            let mut fingerprint = Vec::new();
+            for id in svc.session_ids() {
+                let stats = svc.session_stats(id);
+                fingerprint.push((stats.queries, stats.total_work.to_bits()));
+                fingerprint.push((
+                    svc.cache_stats(id.tenant).cache_hits,
+                    svc.cache_stats(id.tenant).requests,
+                ));
+            }
+            fingerprint
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(4), run(16));
+    }
+}

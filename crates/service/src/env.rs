@@ -1,0 +1,182 @@
+//! The per-tenant tuning environment: a shared database handle plus the
+//! tenant's shared what-if cost cache.
+
+use simdb::cache::SharedWhatIfCache;
+use simdb::database::Database;
+use simdb::index::{IndexId, IndexSet};
+use simdb::optimizer::PlanCost;
+use simdb::query::Statement;
+use simdb::whatif::WhatIfStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wfit_core::TuningEnv;
+
+/// A cloneable, owned [`TuningEnv`] over one tenant's database.
+///
+/// Every clone shares the same [`Database`] and (optionally) the same
+/// [`SharedWhatIfCache`], so all sessions of a tenant answer what-if
+/// questions out of one memo.  Each *session* gets its own clone with a
+/// fresh request counter (see [`TenantEnv::fork_counter`]), which is how the
+/// service attributes what-if traffic to individual sessions even though the
+/// cache is shared.
+///
+/// Because the handle is `Arc`-backed it is `'static`, `Send` and `Sync`:
+/// advisors built over it can live inside a long-running service and migrate
+/// across worker threads — the property the borrowed `&Database` style used
+/// by the offline harness cannot provide.
+#[derive(Clone)]
+pub struct TenantEnv {
+    db: Arc<Database>,
+    cache: Option<Arc<SharedWhatIfCache>>,
+    whatif_requests: Arc<AtomicU64>,
+}
+
+impl TenantEnv {
+    /// An environment answering what-if questions through the tenant's
+    /// shared cache.
+    pub fn cached(db: Arc<Database>) -> Self {
+        Self {
+            db,
+            cache: Some(Arc::new(SharedWhatIfCache::new())),
+            whatif_requests: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// An environment that always runs the optimizer (no shared cache) —
+    /// the control arm for cache-effect measurements.
+    pub fn uncached(db: Arc<Database>) -> Self {
+        Self {
+            db,
+            cache: None,
+            whatif_requests: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A clone sharing the database and cache but carrying a **fresh**
+    /// what-if request counter.  The service forks one per session.
+    pub fn fork_counter(&self) -> Self {
+        Self {
+            db: self.db.clone(),
+            cache: self.cache.clone(),
+            whatif_requests: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The underlying database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Counters of the tenant's shared cache ([`WhatIfStats::default`] when
+    /// the environment is uncached).
+    pub fn cache_stats(&self) -> WhatIfStats {
+        self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
+    }
+
+    /// Whether a shared cache is attached.
+    pub fn is_cached(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// What-if requests issued through *this* handle (i.e. by the session it
+    /// was forked for).
+    pub fn whatif_requests(&self) -> u64 {
+        self.whatif_requests.load(Ordering::Relaxed)
+    }
+}
+
+impl TuningEnv for TenantEnv {
+    fn whatif(&self, stmt: &Statement, config: &IndexSet) -> PlanCost {
+        self.whatif_requests.fetch_add(1, Ordering::Relaxed);
+        match &self.cache {
+            Some(cache) => cache.get_or_compute(stmt.fingerprint, config, || {
+                self.db.whatif_cost_uncached(stmt, config)
+            }),
+            // Bypass the database's own cache as well, so cached and
+            // uncached runs differ only in memoization, never in results.
+            None => self.db.whatif_cost_uncached(stmt, config),
+        }
+    }
+
+    fn create_cost(&self, id: IndexId) -> f64 {
+        self.db.create_cost(id)
+    }
+
+    fn drop_cost(&self, id: IndexId) -> f64 {
+        self.db.drop_cost(id)
+    }
+
+    fn transition_cost(&self, from: &IndexSet, to: &IndexSet) -> f64 {
+        self.db.transition_cost(from, to)
+    }
+
+    fn extract_candidates(&self, stmt: &Statement) -> Vec<IndexId> {
+        self.db.extract_candidates(stmt)
+    }
+
+    fn describe_index(&self, id: IndexId) -> String {
+        self.db.index_name(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdb::catalog::CatalogBuilder;
+    use simdb::types::DataType;
+
+    fn db() -> Arc<Database> {
+        let mut b = CatalogBuilder::new();
+        b.table("t")
+            .rows(1_000_000.0)
+            .column("a", DataType::Integer, 100_000.0)
+            .column("b", DataType::Integer, 1_000.0)
+            .finish();
+        Arc::new(Database::new(b.build()))
+    }
+
+    #[test]
+    fn cached_env_memoizes_and_counts() {
+        let db = db();
+        let env = TenantEnv::cached(db.clone());
+        let q = db.parse("SELECT b FROM t WHERE a = 1").unwrap();
+        let e = IndexSet::empty();
+        let c1 = env.cost(&q, &e);
+        let c2 = env.cost(&q, &e);
+        assert_eq!(c1, c2);
+        let stats = env.cache_stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.optimizer_calls, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(env.whatif_requests(), 2);
+    }
+
+    #[test]
+    fn forked_counters_share_the_cache() {
+        let db = db();
+        let env = TenantEnv::cached(db.clone());
+        let fork_a = env.fork_counter();
+        let fork_b = env.fork_counter();
+        let q = db.parse("SELECT b FROM t WHERE a = 2").unwrap();
+        fork_a.cost(&q, &IndexSet::empty());
+        // The second session hits the entry the first one computed.
+        fork_b.cost(&q, &IndexSet::empty());
+        assert_eq!(fork_a.whatif_requests(), 1);
+        assert_eq!(fork_b.whatif_requests(), 1);
+        assert_eq!(env.whatif_requests(), 0);
+        let stats = env.cache_stats();
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn cached_and_uncached_costs_agree() {
+        let db = db();
+        let cached = TenantEnv::cached(db.clone());
+        let uncached = TenantEnv::uncached(db.clone());
+        assert!(!uncached.is_cached() && cached.is_cached());
+        let q = db.parse("SELECT b FROM t WHERE a = 3").unwrap();
+        let e = IndexSet::empty();
+        assert_eq!(cached.cost(&q, &e), uncached.cost(&q, &e));
+        assert_eq!(uncached.cache_stats(), WhatIfStats::default());
+    }
+}

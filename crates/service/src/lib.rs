@@ -1,0 +1,81 @@
+//! # service — a multi-tenant online index-tuning daemon
+//!
+//! The WFIT paper describes an *online* algorithm meant to live inside a
+//! DBMS; this crate hosts it as a long-running, multi-tenant **service**,
+//! the deployment shape of production index-management systems.  A
+//! [`TuningService`] owns:
+//!
+//! * a **tenant registry** — each tenant is one database
+//!   ([`simdb::Database`] behind an `Arc`) plus a
+//!   [`simdb::cache::SharedWhatIfCache`] shared by all of the tenant's
+//!   sessions, so redundant what-if optimization across sessions collapses
+//!   into cache hits;
+//! * a fleet of **tuning sessions** per tenant — each a
+//!   [`wfit_core::TuningSession`] driving any boxed
+//!   [`wfit_core::IndexAdvisor`] (WFIT, BC, …) over the tenant's
+//!   environment ([`TenantEnv`]);
+//! * one **event queue** per tenant — [`Event::Query`] and [`Event::Vote`]
+//!   items submitted with [`TuningService::submit`] are sharded by tenant id
+//!   and drained in submission order by [`TuningService::process_pending`],
+//!   which runs tenants in parallel on a `std::thread::scope` worker pool.
+//!
+//! Per-tenant results are bit-deterministic: one worker processes one
+//! tenant's events in order, tenants share no mutable state, and the shared
+//! cache returns exactly what the optimizer would — parallelism only changes
+//! wall-clock numbers ([`BatchReport`]), never recommendations or costs.
+//!
+//! ## Quickstart
+//!
+//! Register a tenant, attach a WFIT session, stream a few statements, read
+//! the recommendation back:
+//!
+//! ```
+//! use service::{Event, SessionId, TuningService};
+//! use simdb::catalog::CatalogBuilder;
+//! use simdb::database::Database;
+//! use simdb::types::DataType;
+//! use std::sync::Arc;
+//! use wfit_core::{Wfit, WfitConfig};
+//!
+//! // One tenant database (statistics only — no base data is materialized).
+//! let mut b = CatalogBuilder::new();
+//! b.table("t")
+//!     .rows(1_000_000.0)
+//!     .column("a", DataType::Integer, 100_000.0)
+//!     .column("b", DataType::Integer, 1_000.0)
+//!     .finish();
+//! let db = Arc::new(Database::new(b.build()));
+//!
+//! let mut service = TuningService::new();
+//! let tenant = service.add_tenant("acme", db.clone());
+//! let session = service.add_session(tenant, "wfit", |env| {
+//!     Box::new(Wfit::new(env, WfitConfig::default()))
+//! });
+//!
+//! // Stream the tenant's workload as events.
+//! let q = Arc::new(db.parse("SELECT b FROM t WHERE a = 42").unwrap());
+//! for _ in 0..8 {
+//!     service.submit(Event::query(tenant, q.clone()));
+//! }
+//! let batch = service.process_pending();
+//! assert_eq!(batch.events, 8);
+//!
+//! // The session has converged on an index for the hot predicate.
+//! let recommendation = service.recommendation(session);
+//! assert!(!recommendation.is_empty());
+//! // Repeated analysis of the same statement is answered from the tenant's
+//! // shared what-if cache.
+//! assert!(service.cache_stats(tenant).hit_rate() > 0.5);
+//! # assert_eq!(session, SessionId::new(tenant, 0));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod daemon;
+pub mod env;
+pub mod event;
+
+pub use daemon::{BatchReport, ServiceSession, TuningService};
+pub use env::TenantEnv;
+pub use event::{Event, SessionId, TenantId};

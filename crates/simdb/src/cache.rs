@@ -1,0 +1,289 @@
+//! A concurrent, interned what-if cost cache shared across tuning sessions.
+//!
+//! [`crate::whatif::WhatIfCache`] is the per-[`crate::Database`] memo behind
+//! `whatif_cost`; this module provides the *service-level* layer on top: one
+//! [`SharedWhatIfCache`] per tenant, shared by every tuning session replaying
+//! that tenant's workload.  Redundant what-if optimization is the dominant
+//! cost of online tuning (the paper reports 5–100 optimizer calls per query,
+//! §6.2), and sessions of one tenant ask overwhelmingly overlapping
+//! questions, so sharing the memo converts most of that work into lookups.
+//!
+//! Two design points keep the shared cache cheap under concurrency:
+//!
+//! * **Interning.**  Statement fingerprints (`u64`) and index configurations
+//!   ([`IndexSet`], a sorted id vector) are interned to dense `u32` ids
+//!   ([`StmtId`], [`ConfigId`]) on first sight.  Cache entries are then keyed
+//!   by a single `(u32, u32)` pair — hashing is one shot on a `u64`, and the
+//!   hot map never clones an `IndexSet` per entry.
+//! * **Sharding.**  Entries are spread over [`SHARD_COUNT`] independent
+//!   `RwLock`-protected maps selected by a mix of the interned ids, so
+//!   concurrent sessions rarely contend on the same lock, and lookups (the
+//!   common case once the cache is warm) take only a read lock.
+//!
+//! Hit/miss accounting uses the same [`WhatIfStats`] counters as the
+//! per-database cache, so reports can present both layers uniformly.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::index::IndexSet;
+use crate::optimizer::PlanCost;
+use crate::whatif::WhatIfStats;
+
+/// Number of independent shards of the entry map.  A fixed power of two keeps
+/// shard selection a mask; 16 is far above the worker counts this workspace
+/// runs with, so lock contention is negligible.
+pub const SHARD_COUNT: usize = 16;
+
+/// Interned id of a statement fingerprint (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StmtId(pub u32);
+
+/// Interned id of an index configuration (dense, starting at 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigId(pub u32);
+
+/// A concurrent what-if cost cache with interned keys, shared by all tuning
+/// sessions of one tenant.
+///
+/// ```
+/// use simdb::cache::SharedWhatIfCache;
+/// use simdb::index::{IndexId, IndexSet};
+/// use simdb::optimizer::PlanCost;
+///
+/// let cache = SharedWhatIfCache::new();
+/// let config = IndexSet::single(IndexId(3));
+/// let compute = || PlanCost { total: 42.0, used_indexes: config.clone(), description: String::new() };
+/// assert_eq!(cache.get_or_compute(7, &config, compute).total, 42.0);
+/// // Second request with the same (fingerprint, configuration) is a hit.
+/// let hit = cache.get_or_compute(7, &config, || unreachable!("must be cached"));
+/// assert_eq!(hit.total, 42.0);
+/// assert_eq!(cache.stats().cache_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedWhatIfCache {
+    stmts: RwLock<HashMap<u64, StmtId>>,
+    configs: RwLock<HashMap<IndexSet, ConfigId>>,
+    shards: Vec<RwLock<HashMap<(StmtId, ConfigId), PlanCost>>>,
+    requests: AtomicU64,
+    optimizer_calls: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Default for SharedWhatIfCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedWhatIfCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self {
+            stmts: RwLock::new(HashMap::new()),
+            configs: RwLock::new(HashMap::new()),
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            requests: AtomicU64::new(0),
+            optimizer_calls: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Intern a statement fingerprint.  The same fingerprint always maps to
+    /// the same [`StmtId`] for the lifetime of the cache.
+    pub fn intern_statement(&self, fingerprint: u64) -> StmtId {
+        if let Some(&id) = self.stmts.read().get(&fingerprint) {
+            return id;
+        }
+        let mut stmts = self.stmts.write();
+        let next = StmtId(stmts.len() as u32);
+        *stmts.entry(fingerprint).or_insert(next)
+    }
+
+    /// Intern an index configuration.  The same set always maps to the same
+    /// [`ConfigId`] for the lifetime of the cache.
+    pub fn intern_config(&self, config: &IndexSet) -> ConfigId {
+        if let Some(&id) = self.configs.read().get(config) {
+            return id;
+        }
+        let mut configs = self.configs.write();
+        let next = ConfigId(configs.len() as u32);
+        *configs.entry(config.clone()).or_insert(next)
+    }
+
+    /// Number of distinct statement fingerprints seen.
+    pub fn distinct_statements(&self) -> usize {
+        self.stmts.read().len()
+    }
+
+    /// Number of distinct configurations seen.
+    pub fn distinct_configs(&self) -> usize {
+        self.configs.read().len()
+    }
+
+    fn shard_of(stmt: StmtId, config: ConfigId) -> usize {
+        // Mix both ids so neither a statement-heavy nor a config-heavy key
+        // distribution collapses onto one shard.
+        let mix = (stmt.0 as u64).wrapping_mul(0x9E37_79B9) ^ (config.0 as u64);
+        (mix as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// Fetch the plan cost for `(fingerprint, config)`, computing it with
+    /// `compute` on a miss and memoizing the result.
+    ///
+    /// Concurrent misses on the same key may both run `compute`; the result
+    /// is identical (the cost model is deterministic), so the only waste is
+    /// the duplicated optimization, never an inconsistent answer.
+    pub fn get_or_compute(
+        &self,
+        fingerprint: u64,
+        config: &IndexSet,
+        compute: impl FnOnce() -> PlanCost,
+    ) -> PlanCost {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let key = (
+            self.intern_statement(fingerprint),
+            self.intern_config(config),
+        );
+        let shard = &self.shards[Self::shard_of(key.0, key.1)];
+        if let Some(hit) = shard.read().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.optimizer_calls.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        shard.write().insert(key, value.clone());
+        value
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> WhatIfStats {
+        WhatIfStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            optimizer_calls: self.optimizer_calls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the counters (cache contents and interners are kept).
+    pub fn reset_stats(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.optimizer_calls.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of cached plan costs across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no plan cost is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached plans and interned ids.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.stmts.write().clear();
+        self.configs.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexId;
+
+    fn plan(total: f64) -> PlanCost {
+        PlanCost {
+            total,
+            used_indexes: IndexSet::empty(),
+            description: "test".into(),
+        }
+    }
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let cache = SharedWhatIfCache::new();
+        let s0 = cache.intern_statement(0xDEAD);
+        let s1 = cache.intern_statement(0xBEEF);
+        assert_eq!(s0, StmtId(0));
+        assert_eq!(s1, StmtId(1));
+        // Re-interning returns the original ids, in any order.
+        assert_eq!(cache.intern_statement(0xBEEF), s1);
+        assert_eq!(cache.intern_statement(0xDEAD), s0);
+        assert_eq!(cache.distinct_statements(), 2);
+
+        let c_empty = cache.intern_config(&IndexSet::empty());
+        let c_a = cache.intern_config(&IndexSet::single(IndexId(7)));
+        assert_eq!(c_empty, ConfigId(0));
+        assert_eq!(c_a, ConfigId(1));
+        // IndexSet equality (not identity) drives interning: a structurally
+        // equal set re-uses the id.
+        assert_eq!(cache.intern_config(&IndexSet::from_iter([IndexId(7)])), c_a);
+        assert_eq!(cache.distinct_configs(), 2);
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let cache = SharedWhatIfCache::new();
+        let e = IndexSet::empty();
+        let a = IndexSet::single(IndexId(1));
+        assert_eq!(cache.get_or_compute(1, &e, || plan(10.0)).total, 10.0);
+        assert_eq!(cache.get_or_compute(1, &e, || plan(99.0)).total, 10.0);
+        assert_eq!(cache.get_or_compute(1, &a, || plan(5.0)).total, 5.0);
+        assert_eq!(cache.get_or_compute(2, &e, || plan(7.0)).total, 7.0);
+        assert_eq!(cache.get_or_compute(2, &e, || plan(0.0)).total, 7.0);
+        let stats = cache.stats();
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.optimizer_calls, 3);
+        assert_eq!(stats.cache_hits, 2);
+        assert!((stats.hit_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(cache.len(), 3);
+
+        cache.reset_stats();
+        assert_eq!(cache.stats(), WhatIfStats::default());
+        assert_eq!(cache.len(), 3, "reset_stats keeps the entries");
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.distinct_statements(), 0);
+    }
+
+    #[test]
+    fn shards_spread_keys() {
+        let cache = SharedWhatIfCache::new();
+        for f in 0..64u64 {
+            cache.get_or_compute(f, &IndexSet::empty(), || plan(f as f64));
+        }
+        let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        assert!(occupied > 1, "64 keys must not collapse onto one shard");
+        assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let cache = SharedWhatIfCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for f in 0..32u64 {
+                        let got = cache.get_or_compute(f, &IndexSet::empty(), || plan(f as f64));
+                        assert_eq!(got.total, f as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 32);
+        let stats = cache.stats();
+        assert_eq!(stats.requests, 128);
+        assert_eq!(stats.optimizer_calls + stats.cache_hits, 128);
+        // At least the three late threads' worth of requests hit.
+        assert!(stats.cache_hits >= 64, "stats = {stats:?}");
+    }
+}

@@ -109,6 +109,17 @@ impl Database {
         })
     }
 
+    /// What-if optimization bypassing the database's own cache.
+    ///
+    /// This is the entry point for callers that bring their *own* memoization
+    /// layer (e.g. a per-tenant [`crate::cache::SharedWhatIfCache`] shared by
+    /// several tuning sessions) and do not want every result stored twice.
+    pub fn whatif_cost_uncached(&self, stmt: &Statement, config: &IndexSet) -> PlanCost {
+        let registry = self.registry.read();
+        let optimizer = Optimizer::new(&self.catalog, &registry, &self.cost_config);
+        optimizer.cost(stmt, config)
+    }
+
     /// Convenience: just the scalar cost.
     pub fn cost(&self, stmt: &Statement, config: &IndexSet) -> f64 {
         self.whatif_cost(stmt, config).total

@@ -1,7 +1,7 @@
 //! The what-if optimizer: `cost(q, X)` for an arbitrary hypothetical
 //! configuration `X`, together with the set of indices the chosen plan uses.
 //!
-//! The "used" set is what the index benefit graph of Schnaitter et al. [16]
+//! The "used" set is what the index benefit graph of Schnaitter et al. \[16\]
 //! needs: for any configuration `Y`, `cost(q, Y) = cost(q, used(q, Y))`, i.e.
 //! removing an unused index from the configuration does not change the plan
 //! cost.  For data-modification statements the maintained indices are included

@@ -4,7 +4,7 @@
 //! one of WFIT's overhead metrics (§6.2 "Overhead": "WFIT averaged between 5
 //! and 100 calls per query"), so the façade counts both raw calls and cache
 //! hits.  Caching mirrors the configuration-parametric optimizations of Bruno
-//! & Nehme [8] that the paper cites as the way to make repeated what-if calls
+//! & Nehme \[8\] that the paper cites as the way to make repeated what-if calls
 //! cheap.
 
 use parking_lot::Mutex;
@@ -24,6 +24,28 @@ pub struct WhatIfStats {
     pub optimizer_calls: u64,
     /// Number of requests answered from the cache.
     pub cache_hits: u64,
+}
+
+impl WhatIfStats {
+    /// Fraction of requests answered from the cache (0.0 when no request was
+    /// made).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Merge counters from another stats snapshot (used to aggregate the
+    /// per-tenant caches of a multi-tenant service).
+    pub fn merge(&self, other: &WhatIfStats) -> WhatIfStats {
+        WhatIfStats {
+            requests: self.requests + other.requests,
+            optimizer_calls: self.optimizer_calls + other.optimizer_calls,
+            cache_hits: self.cache_hits + other.cache_hits,
+        }
+    }
 }
 
 /// A cache of what-if results keyed by `(statement fingerprint, configuration)`.

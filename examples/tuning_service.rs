@@ -1,0 +1,107 @@
+//! The multi-tenant tuning service end to end: eight tenants, each an
+//! independent benchmark workload stream, served concurrently by one
+//! `TuningService` — a WFIT session and a BC session per tenant, both
+//! answering what-if questions out of the tenant's shared cost cache.
+//!
+//! Run with `cargo run --release --example tuning_service`.
+
+use std::sync::Arc;
+
+use wfit::core::candidates::offline_selection;
+use wfit::core::IndexAdvisor;
+use wfit::service::{Event, SessionId, TuningService};
+use wfit::workload::{Benchmark, BenchmarkSpec};
+use wfit::{IndexSet, Wfit, WfitConfig};
+
+const TENANTS: usize = 8;
+const STATEMENTS_PER_PHASE: usize = 8;
+
+fn main() {
+    // Generate eight independent tenant workloads (same benchmark shape,
+    // decorrelated seeds) and mine each tenant's offline candidates.
+    println!("preparing {TENANTS} tenant workloads…");
+    let mut service = TuningService::new();
+    let mut streams = Vec::new();
+    for t in 0..TENANTS {
+        let bench = Benchmark::generate(BenchmarkSpec {
+            statements_per_phase: STATEMENTS_PER_PHASE,
+            seed: 0xBE7C_11AD ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            phases: wfit::workload::default_phases(),
+        });
+        let selection = offline_selection(&bench.db, &bench.statements, &WfitConfig::default());
+        let Benchmark { db, statements, .. } = bench;
+        let db = Arc::new(db);
+
+        let tenant = service.add_tenant(format!("tenant-{t}"), db);
+        let partition = selection.partition.clone();
+        service.add_session(tenant, "wfit", move |env| {
+            Box::new(Wfit::with_fixed_partition(
+                env,
+                WfitConfig::default(),
+                partition,
+                IndexSet::empty(),
+            )) as Box<dyn IndexAdvisor + Send>
+        });
+        let candidates = selection.candidates.clone();
+        service.add_session(tenant, "bc", move |env| {
+            Box::new(wfit::advisors::BruchoChaudhuriAdvisor::new(
+                env,
+                candidates,
+                &IndexSet::empty(),
+            )) as Box<dyn IndexAdvisor + Send>
+        });
+        streams.push((tenant, statements));
+    }
+
+    // Interleave all tenants' statements round-robin, the way a shared
+    // ingestion endpoint would see them, then drain the queues: the service
+    // shards by tenant and processes tenants in parallel.
+    let per_tenant = streams[0].1.len();
+    for pos in 0..per_tenant {
+        for (tenant, statements) in &streams {
+            service.submit(Event::query(*tenant, Arc::new(statements[pos].clone())));
+        }
+    }
+    println!(
+        "processing {} events across {} sessions…",
+        service.pending(),
+        service.session_count()
+    );
+    let batch = service.process_pending();
+
+    println!();
+    println!(
+        "processed {} events in {:.2}s — {:.0} events/sec, latency p50 {}µs / p99 {}µs",
+        batch.events,
+        batch.wall_seconds,
+        batch.events_per_sec(),
+        batch.p50_us(),
+        batch.p99_us(),
+    );
+    let cache = service.aggregate_cache_stats();
+    println!(
+        "shared what-if caches: {} requests, {} optimizer runs, hit rate {:.3}",
+        cache.requests,
+        cache.optimizer_calls,
+        cache.hit_rate()
+    );
+
+    println!();
+    println!(
+        "{:<12} {:>14} {:>14} {:>8} {:>10}",
+        "tenant", "WFIT totWork", "BC totWork", "Δ%", "rec size"
+    );
+    for (tenant, _) in &streams {
+        let wfit_stats = service.session_stats(SessionId::new(*tenant, 0));
+        let bc_stats = service.session_stats(SessionId::new(*tenant, 1));
+        let delta = 100.0 * (bc_stats.total_work - wfit_stats.total_work) / bc_stats.total_work;
+        println!(
+            "{:<12} {:>14.0} {:>14.0} {:>7.1}% {:>10}",
+            service.tenant_name(*tenant),
+            wfit_stats.total_work,
+            bc_stats.total_work,
+            delta,
+            service.recommendation(SessionId::new(*tenant, 0)).len()
+        );
+    }
+}

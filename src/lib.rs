@@ -7,17 +7,21 @@
 //! * [`simdb`] — the simulated DBMS substrate (catalog, SQL subset, what-if
 //!   optimizer, transition costs);
 //! * [`ibg`] — index benefit graphs, interaction analysis, stable partitions;
-//! * [`core`](wfit_core) — WFA, WFA⁺ and WFIT, the feedback mechanism and the
-//!   `totWork` evaluation harness;
+//! * [`wfit_core`] (re-exported as `core`) — WFA, WFA⁺ and WFIT, the
+//!   feedback mechanism and the `totWork` evaluation harness;
 //! * [`advisors`] — the BC and OPT baselines;
-//! * [`workload`] — the eight-phase online index-tuning benchmark.
+//! * [`workload`] — the eight-phase online index-tuning benchmark;
+//! * [`service`] — the multi-tenant online tuning daemon (tenant registry,
+//!   event sharding, shared what-if cost caches).
 //!
 //! See `examples/quickstart.rs` for the fastest way to get a recommendation
-//! out of WFIT, and `examples/dba_feedback_session.rs` for the semi-automatic
-//! feedback loop.
+//! out of WFIT, `examples/dba_feedback_session.rs` for the semi-automatic
+//! feedback loop, and `examples/tuning_service.rs` for the multi-tenant
+//! service driving eight tenants concurrently.
 
 pub use advisors;
 pub use ibg;
+pub use service;
 pub use simdb;
 pub use wfit_core as core;
 pub use workload;

@@ -1,10 +1,11 @@
 //! Golden-run regression suite over the deterministic scenario harness.
 //!
 //! Miniature versions of the paper's Figure 8 (baseline, no feedback),
-//! Figure 9 (scripted DBA feedback) and Figure 11 (feedback lag) scenarios
-//! are replayed from fixed seeds and their structured `RunReport`s are
-//! diffed — within a numeric tolerance — against the snapshots committed
-//! under `tests/golden/`.  Any behavioural change to WFIT/WFA⁺/BC/OPT, the
+//! Figure 9 (scripted DBA feedback) and Figure 11 (feedback lag) scenarios —
+//! plus the multi-tenant `service-mini` scenario replayed through
+//! `crates/service` — are replayed from fixed seeds and their structured
+//! `RunReport`s are diffed — within a numeric tolerance — against the
+//! snapshots committed under `tests/golden/`.  Any behavioural change to WFIT/WFA⁺/BC/OPT, the
 //! workload generator, the cost model or the evaluator shows up here as a
 //! readable field-level diff.
 //!
@@ -17,7 +18,7 @@
 //! Every run also writes the reports (including wall-clock timing) to
 //! `target/scenario-reports/` so CI can upload them as a build artifact.
 
-use harness::{run_scenario, scenarios, RunReport, ScenarioSpec};
+use harness::{run_scenario, run_service_scenario, scenarios, RunReport, ScenarioSpec};
 use std::fs;
 use std::path::PathBuf;
 
@@ -45,7 +46,11 @@ fn update_golden_requested() -> bool {
 fn check_against_golden(spec: ScenarioSpec) -> RunReport {
     let name = spec.name.clone();
     let report = run_scenario(spec);
+    check_report_against_golden(&name, report)
+}
 
+/// Export a report for CI and regenerate/verify its golden snapshot.
+fn check_report_against_golden(name: &str, report: RunReport) -> RunReport {
     let dir = artifact_dir();
     fs::create_dir_all(&dir).expect("create scenario-report dir");
     fs::write(
@@ -54,7 +59,7 @@ fn check_against_golden(spec: ScenarioSpec) -> RunReport {
     )
     .expect("write scenario report artifact");
 
-    let path = golden_path(&name);
+    let path = golden_path(name);
     if update_golden_requested() {
         fs::write(&path, report.to_json())
             .unwrap_or_else(|e| panic!("cannot write golden {}: {e}", path.display()));
@@ -138,6 +143,100 @@ fn fig11_mini_matches_golden() {
     // Immediate acceptance is at least as good as the largest lag.
     let immediate = report.cell("WFIT").unwrap();
     assert!(immediate.total_work <= lag16.total_work + 1e-6);
+}
+
+#[test]
+fn service_mini_matches_golden() {
+    let spec = scenarios::service_mini();
+    let report = check_report_against_golden(&spec.name.clone(), run_service_scenario(&spec));
+    assert_eq!(report.cells.len(), 3 * 3, "3 tenants × 3 sessions");
+    let service = report.service.as_ref().expect("service summary present");
+    assert_eq!(service.tenants, 3);
+    assert_eq!(service.sessions, 9);
+    assert_eq!(service.query_events as usize, report.statements);
+    assert!(service.vote_events > 0, "scheduled votes must be delivered");
+    // The acceptance bar for the shared what-if cache: most requests of the
+    // multi-tenant scenario are answered without running the optimizer.
+    assert!(
+        service.cache_hit_rate > 0.5,
+        "shared cache hit rate {} must exceed 0.5",
+        service.cache_hit_rate
+    );
+    for cell in &report.cells {
+        // Each tenant's OPT lower-bounds its sessions.
+        assert!(
+            cell.opt_ratio > 0.0 && cell.opt_ratio <= 1.0 + 1e-9,
+            "{}",
+            cell.label
+        );
+        assert!(
+            (cell.query_cost + cell.transition_cost - cell.total_work).abs() < 1e-6,
+            "{}: cost decomposition must add up",
+            cell.label
+        );
+        assert_eq!(cell.ratio_series.len(), report.checkpoints.len());
+    }
+}
+
+#[test]
+fn service_replay_is_deterministic_for_identical_seeds() {
+    // Byte-identical deterministic JSON across two full service replays —
+    // including the parallel per-tenant workers and the shared-cache
+    // hit/miss counters in the service summary.
+    let a = run_service_scenario(&scenarios::service_mini());
+    let b = run_service_scenario(&scenarios::service_mini());
+    assert_eq!(a.to_json(), b.to_json());
+
+    // A different seed must change the outcome (the snapshot is not vacuous).
+    let mut spec = scenarios::service_mini();
+    spec.seed ^= 1;
+    let c = run_service_scenario(&spec);
+    assert_ne!(a.to_json(), c.to_json());
+}
+
+/// PR 2 established that the harness never reads `WFIT_PHASE_LEN` (the phase
+/// length is an explicit `ScenarioSpec` field); this grep-guard keeps the
+/// invariant from regressing, for the service crate as well.  Reading *any*
+/// environment variable from library code under `crates/harness` or
+/// `crates/service` is a violation — env access belongs to the bench and
+/// test entry points.
+#[test]
+fn harness_and_service_never_read_env_vars() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut offenders = Vec::new();
+    for crate_dir in ["crates/harness/src", "crates/service/src"] {
+        let dir = root.join(crate_dir);
+        let mut stack = vec![dir];
+        while let Some(d) = stack.pop() {
+            for entry in fs::read_dir(&d).expect("crate source dir readable") {
+                let path = entry.expect("dir entry").path();
+                if path.is_dir() {
+                    stack.push(path);
+                    continue;
+                }
+                if path.extension().is_none_or(|e| e != "rs") {
+                    continue;
+                }
+                let source = fs::read_to_string(&path).expect("source readable");
+                for (lineno, line) in source.lines().enumerate() {
+                    let code = line.split("//").next().unwrap_or("");
+                    if code.contains("env::var") || code.contains("env!(\"WFIT_PHASE_LEN\")") {
+                        offenders.push(format!(
+                            "{}:{}: {}",
+                            path.display(),
+                            lineno + 1,
+                            line.trim()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "environment variables must only be read at bench/test entry points:\n  {}",
+        offenders.join("\n  ")
+    );
 }
 
 #[test]

@@ -1,4 +1,4 @@
-//! No-op derive macros for the vendored [`serde`] stub.
+//! No-op derive macros for the vendored `serde` stub.
 //!
 //! The real derives generate `Serialize`/`Deserialize` impls; here the traits
 //! are blanket-implemented for every type (see `vendor/serde`), so the
