@@ -20,7 +20,6 @@
 //!   debit (and positive benefits pay the debit down); when the debit exceeds
 //!   the creation cost the index is dropped from the recommendation.
 
-use ibg::IndexBenefitGraph;
 use simdb::index::{IndexId, IndexSet};
 use simdb::query::Statement;
 use std::collections::HashMap;
@@ -91,8 +90,13 @@ impl<E: TuningEnv> IndexAdvisor for BruchoChaudhuriAdvisor<E> {
     fn analyze_query(&mut self, stmt: &Statement) {
         self.statements += 1;
         let all = IndexSet::from_iter(self.candidates.iter().copied());
-        let ibg = IndexBenefitGraph::build(all, |cfg| self.env.whatif(stmt, cfg));
-        self.whatif_calls += ibg.whatif_calls() as u64;
+        // Build — or fetch from a service environment's IBG store — the
+        // statement's benefit graph; only fresh builds charge this advisor.
+        let shared = self.env.ibg(stmt, all);
+        if !shared.reused {
+            self.whatif_calls += shared.graph.whatif_calls() as u64;
+        }
+        let ibg = shared.graph;
 
         for i in 0..self.candidates.len() {
             let id = self.candidates[i];

@@ -3,27 +3,46 @@
 //! tenant served by a WFIT-500 / WFIT-IND / BC session fleet over a shared
 //! per-tenant what-if cache.
 //!
-//! Reports events/sec, per-event latency percentiles and the shared-cache
-//! hit rate — the hot path future perf work optimizes.  Tenant count comes
-//! from `WFIT_TENANTS` (default 4); phase length from `WFIT_PHASE_LEN`
-//! (default 60), both read once here at the entry point.
+//! Reports events/sec, per-event latency percentiles, the shared-cache
+//! hit/eviction/occupancy counters and the IBG-store reuse counters — the
+//! hot path future perf work optimizes.  Knobs, all read once here at the
+//! entry point:
+//!
+//! * `WFIT_TENANTS`   — tenant count (default 4)
+//! * `WFIT_PHASE_LEN` — statements per workload phase (default 60)
+//! * `WFIT_CACHE_CAP` — per-tenant shared-cache capacity (default 0 =
+//!   unbounded)
+//! * `WFIT_BATCH`     — query-batch size of the drain (default 1 =
+//!   event-at-a-time)
+//! * `WFIT_IBG_REUSE` — share built IBGs across a tenant's sessions
+//!   (default 0)
 
 use bench::{phase_len_from_env, print_summaries, run_service_scenario, scenarios};
 
-fn tenants_from_env() -> usize {
-    std::env::var("WFIT_TENANTS")
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(4)
+        .unwrap_or(default)
 }
 
 fn main() {
-    let spec = scenarios::service_throughput(tenants_from_env(), phase_len_from_env());
+    let spec = scenarios::service_throughput(env_usize("WFIT_TENANTS", 4), phase_len_from_env())
+        .with_cache_capacity(env_usize("WFIT_CACHE_CAP", 0))
+        .with_batch_size(env_usize("WFIT_BATCH", 1))
+        .with_ibg_reuse(env_usize("WFIT_IBG_REUSE", 0) != 0);
     let tenants = spec.tenants;
     let per_tenant = spec.statements_per_tenant();
+    let cap = match spec.cache_capacity {
+        0 => "unbounded".to_string(),
+        c => format!("{c} entries"),
+    };
     println!(
         "service_throughput: {tenants} tenants × {per_tenant} statements, \
-         fleet = WFIT-500 / WFIT-IND / BC, shared what-if cache per tenant"
+         fleet = WFIT-500 / WFIT-IND / BC, shared what-if cache per tenant \
+         ({cap}), batch size {}, IBG reuse {}",
+        spec.batch_size,
+        if spec.ibg_reuse { "on" } else { "off" },
     );
     let report = run_service_scenario(&spec);
     let service = report
@@ -43,6 +62,14 @@ fn main() {
     println!(
         "what-if cache   {:>12} requests, hit rate {:.3}",
         service.cache_requests, service.cache_hit_rate
+    );
+    println!(
+        "cache eviction  {:>12} evicted, {} resident",
+        service.cache_evictions, service.cache_entries
+    );
+    println!(
+        "ibg store       {:>12} built, {} reused",
+        service.ibg_builds, service.ibg_reuses
     );
     println!();
     print_summaries(&report);

@@ -6,17 +6,69 @@
 //! trait is implemented by [`simdb::Database`] for end-to-end runs and by
 //! [`MockEnv`] for unit tests and the paper's hand-computed examples.
 
+use ibg::IndexBenefitGraph;
 use parking_lot::RwLock;
 use simdb::index::{IndexId, IndexSet};
 use simdb::optimizer::PlanCost;
 use simdb::query::Statement;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An index benefit graph handed out by [`TuningEnv::ibg`], possibly shared
+/// with other sessions of the same environment.
+///
+/// The graph is immutable after construction, so sharing it is safe; the
+/// `reused` flag tells the caller whether the build's what-if calls were
+/// actually issued on its behalf (`false`) or already paid for by an earlier
+/// caller (`true`) — advisors use it to keep their per-session overhead
+/// counters truthful.
+#[derive(Debug, Clone)]
+pub struct SharedIbg {
+    /// The (possibly shared) graph.
+    pub graph: Arc<IndexBenefitGraph>,
+    /// Whether the graph was fetched from a share instead of freshly built.
+    pub reused: bool,
+}
+
+impl SharedIbg {
+    /// Wrap a freshly built graph.
+    pub fn fresh(graph: IndexBenefitGraph) -> Self {
+        Self {
+            graph: Arc::new(graph),
+            reused: false,
+        }
+    }
+
+    /// Wrap a graph fetched from a cross-session share.
+    pub fn shared(graph: Arc<IndexBenefitGraph>) -> Self {
+        Self {
+            graph,
+            reused: true,
+        }
+    }
+}
 
 /// DBMS services required by the tuning algorithms.
 pub trait TuningEnv {
     /// What-if optimization of `stmt` under hypothetical configuration
     /// `config`.
     fn whatif(&self, stmt: &Statement, config: &IndexSet) -> PlanCost;
+
+    /// Build the index benefit graph of `stmt` over the `relevant` candidate
+    /// set.
+    ///
+    /// The default builds a fresh graph through [`TuningEnv::whatif`] (one
+    /// call per node).  Service-style environments can override this to
+    /// intern built graphs by statement fingerprint so concurrent sessions
+    /// of one tenant reuse node expansions instead of re-deriving them; any
+    /// override must return a graph identical to a fresh build (the graph is
+    /// a pure function of `(stmt, relevant)` under a deterministic cost
+    /// model), so reuse can never change a recommendation.
+    fn ibg(&self, stmt: &Statement, relevant: IndexSet) -> SharedIbg {
+        SharedIbg::fresh(IndexBenefitGraph::build(relevant, |cfg| {
+            self.whatif(stmt, cfg)
+        }))
+    }
 
     /// Scalar what-if cost.
     fn cost(&self, stmt: &Statement, config: &IndexSet) -> f64 {
@@ -59,6 +111,10 @@ impl<E: TuningEnv + ?Sized> TuningEnv for &E {
         (**self).whatif(stmt, config)
     }
 
+    fn ibg(&self, stmt: &Statement, relevant: IndexSet) -> SharedIbg {
+        (**self).ibg(stmt, relevant)
+    }
+
     fn cost(&self, stmt: &Statement, config: &IndexSet) -> f64 {
         (**self).cost(stmt, config)
     }
@@ -90,6 +146,10 @@ impl<E: TuningEnv + ?Sized> TuningEnv for &E {
 impl<E: TuningEnv + ?Sized> TuningEnv for std::sync::Arc<E> {
     fn whatif(&self, stmt: &Statement, config: &IndexSet) -> PlanCost {
         (**self).whatif(stmt, config)
+    }
+
+    fn ibg(&self, stmt: &Statement, relevant: IndexSet) -> SharedIbg {
+        (**self).ibg(stmt, relevant)
     }
 
     fn cost(&self, stmt: &Statement, config: &IndexSet) -> f64 {

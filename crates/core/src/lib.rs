@@ -67,7 +67,7 @@ pub mod wfit;
 
 pub use advisor::IndexAdvisor;
 pub use config::WfitConfig;
-pub use env::{MockEnv, TuningEnv};
+pub use env::{MockEnv, SharedIbg, TuningEnv};
 pub use evaluator::{Evaluator, RunOptions, RunResult};
 pub use session::{QueryOutcome, SessionStats, TuningSession};
 pub use wfa::WfaInstance;

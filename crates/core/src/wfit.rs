@@ -309,13 +309,19 @@ impl<E: TuningEnv> IndexAdvisor for Wfit<E> {
             // Fixed-partition mode: only the monitored candidates matter.
             self.monitored()
         };
-        let ibg = IndexBenefitGraph::build(relevant, |cfg| self.env.whatif(stmt, cfg));
-        self.whatif_calls += ibg.whatif_calls() as u64;
+        // Build — or, in a service deployment with an IBG store, fetch — the
+        // statement's benefit graph.  Only a fresh build's what-if calls are
+        // charged to this advisor; a reused graph cost nothing here.
+        let shared = self.env.ibg(stmt, relevant);
+        if !shared.reused {
+            self.whatif_calls += shared.graph.whatif_calls() as u64;
+        }
+        let ibg = shared.graph;
 
         // chooseCands / repartition.
         if self.maintenance_enabled() {
-            self.pool.update_stats(&ibg);
-            let new_partition = self.choose_cands(&ibg);
+            self.pool.update_stats(ibg.as_ref());
+            let new_partition = self.choose_cands(ibg.as_ref());
             if new_partition != self.partition
                 && is_feasible(
                     &new_partition,

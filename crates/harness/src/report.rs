@@ -104,6 +104,17 @@ pub struct ServiceSummary {
     pub cache_hits: u64,
     /// `cache_hits / cache_requests` (0.0 when no request was made).
     pub cache_hit_rate: f64,
+    /// Entries evicted to honor the shared caches' capacity bounds (summed;
+    /// 0 for unbounded runs).
+    pub cache_evictions: u64,
+    /// Entries resident in the shared caches at the end of the run (summed).
+    pub cache_entries: u64,
+    /// Index benefit graphs built by the tenants' IBG stores (summed; 0 when
+    /// IBG sharing is off — sessions then build their own graphs, which are
+    /// not counted here).
+    pub ibg_builds: u64,
+    /// IBG requests answered with an already-built graph (summed).
+    pub ibg_reuses: u64,
     /// Events processed per wall-clock second (timing JSON only).
     pub events_per_sec: f64,
     /// Median per-event latency in microseconds (timing JSON only).
@@ -122,6 +133,10 @@ impl ServiceSummary {
             ("cache_requests", Json::Num(self.cache_requests as f64)),
             ("cache_hits", Json::Num(self.cache_hits as f64)),
             ("cache_hit_rate", Json::Num(self.cache_hit_rate)),
+            ("cache_evictions", Json::Num(self.cache_evictions as f64)),
+            ("cache_entries", Json::Num(self.cache_entries as f64)),
+            ("ibg_builds", Json::Num(self.ibg_builds as f64)),
+            ("ibg_reuses", Json::Num(self.ibg_reuses as f64)),
         ];
         if with_timing {
             fields.push(("events_per_sec", Json::Num(self.events_per_sec)));
@@ -282,12 +297,19 @@ mod tests {
             cache_requests: 1000,
             cache_hits: 700,
             cache_hit_rate: 0.7,
+            cache_evictions: 42,
+            cache_entries: 64,
+            ibg_builds: 12,
+            ibg_reuses: 24,
             events_per_sec: 123.4,
             latency_p50_us: 10,
             latency_p99_us: 50,
         });
         let stable = r.to_json();
         assert!(stable.contains("cache_hit_rate"));
+        // Eviction and IBG-store counters are deterministic and belong to
+        // the golden rendering.
+        assert!(stable.contains("cache_evictions") && stable.contains("ibg_reuses"));
         // Wall-clock service metrics never reach the golden-file rendering.
         assert!(!stable.contains("events_per_sec"));
         assert!(!stable.contains("latency_p99_us"));

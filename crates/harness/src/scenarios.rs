@@ -221,6 +221,29 @@ pub fn service_mini() -> ServiceScenarioSpec {
     ServiceScenarioSpec::new("service-mini", 3, MINI_PHASE_LEN).with_feedback_every(16)
 }
 
+/// Shared-cache capacity of [`service_evict_mini`]: deliberately far below
+/// the scenario's working set (the unbounded run of the same workload keeps
+/// several hundred entries per tenant resident), so the CLOCK sweep must
+/// evict continuously and the golden snapshot pins the eviction counters.
+pub const EVICT_MINI_CACHE_CAPACITY: usize = 48;
+
+/// Query-batch size of [`service_evict_mini`].
+pub const EVICT_MINI_BATCH_SIZE: usize = 4;
+
+/// Miniature *bounded* service scenario for the golden suite: the
+/// [`service_mini`] workload with each tenant's cache capacity forced below
+/// its working set, query batching, and cross-session IBG reuse — the
+/// hot-path configuration.  Costs must match [`service_mini`] exactly (the
+/// knobs may only change overhead counters); the golden snapshot
+/// additionally pins hit rate, eviction count and IBG reuse counters.
+pub fn service_evict_mini() -> ServiceScenarioSpec {
+    ServiceScenarioSpec::new("service-evict-mini", 3, MINI_PHASE_LEN)
+        .with_feedback_every(16)
+        .with_cache_capacity(EVICT_MINI_CACHE_CAPACITY)
+        .with_batch_size(EVICT_MINI_BATCH_SIZE)
+        .with_ibg_reuse(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +282,20 @@ mod tests {
         assert_eq!(mini.sessions.len(), 3);
         assert!(mini.shared_cache);
         assert_eq!(mini.feedback_every, 16);
+        // The defaults keep the historical hot path: unbounded cache, no
+        // batching, no IBG sharing.
+        assert_eq!(mini.cache_capacity, 0);
+        assert_eq!(mini.batch_size, 1);
+        assert!(!mini.ibg_reuse);
+        // The evict variant differs from service-mini only in the hot-path
+        // knobs (same workload, fleet and feedback schedule).
+        let evict = service_evict_mini();
+        assert_eq!(evict.tenants, mini.tenants);
+        assert_eq!(evict.seed, mini.seed);
+        assert_eq!(evict.feedback_every, mini.feedback_every);
+        assert_eq!(evict.cache_capacity, EVICT_MINI_CACHE_CAPACITY);
+        assert_eq!(evict.batch_size, EVICT_MINI_BATCH_SIZE);
+        assert!(evict.ibg_reuse && evict.shared_cache);
         let big = service_throughput(8, 60);
         assert_eq!(big.tenants, 8);
         assert_eq!(big.statements_per_tenant(), 8 * 60);

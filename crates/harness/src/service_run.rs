@@ -19,7 +19,7 @@
 use std::sync::Arc;
 
 use advisors::{compute_optimal, BruchoChaudhuriAdvisor, OptSchedule};
-use service::{Event, TenantEnv, TuningService};
+use service::{Event, TenantEnv, TenantOptions, TuningService};
 use simdb::index::IndexSet;
 use wfit_core::candidates::{offline_selection, OfflineSelection};
 use wfit_core::config::WfitConfig;
@@ -77,6 +77,17 @@ pub struct ServiceScenarioSpec {
     /// reject its last) after every `feedback_every`-th statement; 0
     /// disables feedback.
     pub feedback_every: usize,
+    /// Capacity bound of each tenant's shared what-if cache; 0 keeps the
+    /// cache unbounded (the historical behaviour).  Ignored when
+    /// `shared_cache` is false.
+    pub cache_capacity: usize,
+    /// Coalesce up to this many consecutive queries of a tenant into one
+    /// session-major batch; 1 reproduces event-at-a-time draining.
+    pub batch_size: usize,
+    /// Share built index benefit graphs across each tenant's sessions
+    /// through a per-tenant `IbgStore`.  Honored for the uncached control
+    /// arm too (graph dedup works with or without a cost cache underneath).
+    pub ibg_reuse: bool,
 }
 
 impl ServiceScenarioSpec {
@@ -96,6 +107,9 @@ impl ServiceScenarioSpec {
             selection_state_cnt: 500,
             shared_cache: true,
             feedback_every: 0,
+            cache_capacity: 0,
+            batch_size: 1,
+            ibg_reuse: false,
         }
     }
 
@@ -120,6 +134,25 @@ impl ServiceScenarioSpec {
     /// Schedule periodic feedback events.
     pub fn with_feedback_every(mut self, every: usize) -> Self {
         self.feedback_every = every;
+        self
+    }
+
+    /// Bound each tenant's shared cache to `capacity` entries (0 =
+    /// unbounded).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Set the service's query-batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Enable or disable cross-session IBG reuse.
+    pub fn with_ibg_reuse(mut self, reuse: bool) -> Self {
+        self.ibg_reuse = reuse;
         self
     }
 
@@ -274,14 +307,22 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
     // Assemble the service: one tenant + fleet per prepared workload, all
     // backed by the prepared database instances (whose registries hold the
     // candidate ids the offline selections refer to).
-    let mut svc = TuningService::with_workers(spec.tenants);
+    let mut svc = TuningService::with_workers(spec.tenants).with_batch_size(spec.batch_size);
     let mut tenant_ids = Vec::with_capacity(spec.tenants);
     for (t, prep) in prepared.iter().enumerate() {
-        let id = if spec.shared_cache {
-            svc.add_tenant(format!("tenant-{t}"), prep.db.clone())
+        let options = if spec.shared_cache {
+            TenantOptions::default().with_cache_capacity(spec.cache_capacity)
         } else {
-            svc.add_tenant_uncached(format!("tenant-{t}"), prep.db.clone())
+            TenantOptions {
+                cache: None,
+                ibg_reuse: false,
+            }
         };
+        let id = svc.add_tenant_with(
+            format!("tenant-{t}"),
+            prep.db.clone(),
+            options.with_ibg_reuse(spec.ibg_reuse),
+        );
         for session in &spec.sessions {
             svc.add_session(id, session.label(), |env| build_advisor(session, prep, env));
         }
@@ -353,6 +394,7 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
     }
 
     let cache = svc.aggregate_cache_stats();
+    let ibg = svc.aggregate_ibg_stats();
     RunReport {
         scenario: spec.name.clone(),
         seed: spec.seed,
@@ -376,6 +418,10 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
             cache_requests: cache.requests,
             cache_hits: cache.cache_hits,
             cache_hit_rate: cache.hit_rate(),
+            cache_evictions: cache.evictions,
+            cache_entries: cache.entries,
+            ibg_builds: ibg.builds,
+            ibg_reuses: ibg.reuses,
             events_per_sec: batch.events_per_sec(),
             latency_p50_us: batch.p50_us(),
             latency_p99_us: batch.p99_us(),
@@ -422,6 +468,54 @@ mod tests {
         // Deterministic rendering round-trips.
         let diffs = report.diff_against_golden(&report.to_json(), 1e-9).unwrap();
         assert!(diffs.is_empty(), "{diffs:?}");
+    }
+
+    #[test]
+    fn bounded_batched_reusing_runs_agree_with_default_costs() {
+        // The hot-path knobs — bounded cache (forced below the working
+        // set), query batching, IBG reuse — may only change *overhead*
+        // metrics (hits, evictions, builds), never a cost or recommendation.
+        let base = run_service_scenario(&tiny("svc-hotpath"));
+        let tuned = run_service_scenario(
+            &tiny("svc-hotpath")
+                .with_cache_capacity(16)
+                .with_batch_size(4)
+                .with_ibg_reuse(true),
+        );
+        assert_eq!(base.cells.len(), tuned.cells.len());
+        for (b, t) in base.cells.iter().zip(&tuned.cells) {
+            assert_eq!(b.label, t.label);
+            assert_eq!(
+                b.total_work.to_bits(),
+                t.total_work.to_bits(),
+                "{}",
+                b.label
+            );
+            assert_eq!(b.ratio_series, t.ratio_series, "{}", b.label);
+        }
+        let base_svc = base.service.as_ref().unwrap();
+        let tuned_svc = tuned.service.as_ref().unwrap();
+        assert_eq!(
+            base_svc.cache_evictions, 0,
+            "unbounded default never evicts"
+        );
+        assert_eq!(base_svc.ibg_builds + base_svc.ibg_reuses, 0);
+        assert!(
+            tuned_svc.cache_evictions > 0,
+            "capacity 16 must be below the working set ({} entries unbounded)",
+            base_svc.cache_entries
+        );
+        // Two tenants, each capped at 16 resident entries.
+        assert!(tuned_svc.cache_entries <= 2 * 16);
+        assert!(tuned_svc.ibg_reuses > 0, "fleet sessions must share graphs");
+        // Determinism: the tuned configuration replays byte-identically.
+        let rerun = run_service_scenario(
+            &tiny("svc-hotpath")
+                .with_cache_capacity(16)
+                .with_batch_size(4)
+                .with_ibg_reuse(true),
+        );
+        assert_eq!(tuned.to_json(), rerun.to_json());
     }
 
     #[test]

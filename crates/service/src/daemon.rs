@@ -1,10 +1,12 @@
 //! The multi-tenant tuning service: tenant registry, event queues, and the
 //! scoped worker pool that drains them.
 
-use crate::env::TenantEnv;
+use crate::env::{TenantEnv, TenantOptions};
 use crate::event::{Event, SessionId, TenantId};
+use crate::ibg_store::IbgStats;
 use simdb::database::Database;
 use simdb::index::IndexSet;
+use simdb::query::Statement;
 use simdb::whatif::WhatIfStats;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -35,28 +37,75 @@ struct Tenant {
 impl Tenant {
     /// Drain this tenant's queue in submission order, fanning each event out
     /// to every session.  Returns the per-event latencies in microseconds.
-    fn drain(&mut self) -> Vec<u64> {
+    ///
+    /// With `batch_size > 1`, runs of consecutive [`Event::Query`]s are
+    /// coalesced (up to `batch_size` per batch; a [`Event::Vote`] always
+    /// closes the current batch) and each batch is processed
+    /// **session-major**: the first session analyzes the whole batch —
+    /// warming the tenant's shared what-if cache and IBG store for every
+    /// statement in it — before the next session starts, so the later
+    /// sessions run against one warmed cache generation instead of
+    /// alternating cold statements.  Per-session event order is unchanged
+    /// (sessions are mutually independent and each still sees the batch's
+    /// statements in submission order, with votes at the same boundaries),
+    /// so batching can never change a recommendation, a cost, or any other
+    /// deterministic metric — only wall-clock numbers and, when the cache is
+    /// bounded, the hit/eviction split, which is itself a pure function of
+    /// the per-tenant event order and batch size.
+    fn drain(&mut self, batch_size: usize) -> Vec<u64> {
+        let batch_size = batch_size.max(1);
         let mut latencies = Vec::with_capacity(self.queue.len());
+        // Cap the pre-allocation by the actual queue length so an absurd
+        // batch-size knob cannot over-allocate (or overflow) up front.
+        let mut batch: Vec<Arc<Statement>> = Vec::with_capacity(batch_size.min(self.queue.len()));
         while let Some(event) = self.queue.pop_front() {
-            let start = Instant::now();
-            match &event {
+            match event {
                 Event::Query { statement, .. } => {
-                    for slot in &mut self.slots {
-                        slot.session.submit_query(statement);
+                    batch.push(statement);
+                    // Keep coalescing while the next event extends the batch.
+                    let extends = batch.len() < batch_size
+                        && matches!(self.queue.front(), Some(Event::Query { .. }));
+                    if !extends {
+                        self.flush_batch(&mut batch, &mut latencies);
                     }
                 }
                 Event::Vote {
                     approve, reject, ..
                 } => {
+                    debug_assert!(batch.is_empty(), "a vote closes the preceding batch");
+                    let start = Instant::now();
                     for slot in &mut self.slots {
-                        slot.session.vote(approve, reject);
+                        slot.session.vote(&approve, &reject);
                     }
+                    self.processed += 1;
+                    latencies.push(start.elapsed().as_micros() as u64);
                 }
             }
-            self.processed += 1;
-            latencies.push(start.elapsed().as_micros() as u64);
         }
         latencies
+    }
+
+    /// Process one coalesced query batch session-major and retire the IBG
+    /// store's previous generation.  Latency is measured per batch and
+    /// attributed evenly to its events (wall-clock only — never part of the
+    /// deterministic metrics).
+    fn flush_batch(&mut self, batch: &mut Vec<Arc<Statement>>, latencies: &mut Vec<u64>) {
+        if batch.is_empty() {
+            return;
+        }
+        let start = Instant::now();
+        for slot in &mut self.slots {
+            for statement in batch.iter() {
+                slot.session.submit_query(statement);
+            }
+        }
+        self.env.advance_ibg_generation();
+        let per_event = start.elapsed().as_micros() as u64 / batch.len() as u64;
+        for _ in batch.iter() {
+            self.processed += 1;
+            latencies.push(per_event);
+        }
+        batch.clear();
     }
 }
 
@@ -123,6 +172,7 @@ impl BatchReport {
 pub struct TuningService {
     tenants: Vec<Tenant>,
     max_workers: usize,
+    batch_size: usize,
 }
 
 impl Default for TuningService {
@@ -146,12 +196,36 @@ impl TuningService {
         Self {
             tenants: Vec::new(),
             max_workers: max_workers.max(1),
+            batch_size: 1,
         }
+    }
+
+    /// Coalesce up to `batch_size` consecutive queued queries of a tenant
+    /// into one session-major batch (see [`TuningService::process_pending`]).
+    /// The default of 1 reproduces event-at-a-time draining exactly.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// The configured query-batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
     }
 
     /// Register a tenant with a shared what-if cache over its database.
     pub fn add_tenant(&mut self, name: impl Into<String>, db: Arc<Database>) -> TenantId {
         self.register(name, TenantEnv::cached(db))
+    }
+
+    /// Register a tenant with explicit cache/IBG-sharing options.
+    pub fn add_tenant_with(
+        &mut self,
+        name: impl Into<String>,
+        db: Arc<Database>,
+        options: TenantOptions,
+    ) -> TenantId {
+        self.register(name, TenantEnv::with_options(db, options))
     }
 
     /// Register a tenant **without** a shared cache (every what-if request
@@ -255,6 +329,7 @@ impl TuningService {
             loads[lightest] += tenant.queue.len();
             bins[lightest].push(tenant);
         }
+        let batch_size = self.batch_size;
         let mut latencies: Vec<u64> = std::thread::scope(|scope| {
             let handles: Vec<_> = bins
                 .into_iter()
@@ -262,7 +337,7 @@ impl TuningService {
                     scope.spawn(move || {
                         let mut lat = Vec::new();
                         for tenant in bin {
-                            lat.extend(tenant.drain());
+                            lat.extend(tenant.drain(batch_size));
                         }
                         lat
                     })
@@ -323,6 +398,18 @@ impl TuningService {
         self.tenants.iter().fold(WhatIfStats::default(), |acc, t| {
             acc.merge(&t.env.cache_stats())
         })
+    }
+
+    /// Counters of a tenant's IBG store (zeros when IBG sharing is off).
+    pub fn ibg_stats(&self, tenant: TenantId) -> IbgStats {
+        self.tenant_ref(tenant).env.ibg_stats()
+    }
+
+    /// IBG-store counters aggregated over all tenants.
+    pub fn aggregate_ibg_stats(&self) -> IbgStats {
+        self.tenants
+            .iter()
+            .fold(IbgStats::default(), |acc, t| acc.merge(&t.env.ibg_stats()))
     }
 
     /// A session's label.
@@ -486,6 +573,126 @@ mod tests {
         assert_eq!(svc.session_stats(SessionId::new(ids[1], 0)).votes, 0);
         assert!(svc.recommendation(SessionId::new(ids[0], 0)).contains(idx));
         assert!(svc.materialized(SessionId::new(ids[0], 0)).is_empty());
+    }
+
+    /// Regression (batch drain): interleaving `Query`/`Vote` events across
+    /// batch boundaries — including a session registered *after* a batch
+    /// drain — must leave every session in exactly the state sequential
+    /// (batch size 1) replay produces.  Votes close batches, so a vote
+    /// submitted after a drained batch observes the same recommendation
+    /// state either way; a late-joining session sees only post-join events
+    /// in both modes.
+    #[test]
+    fn votes_and_late_sessions_see_identical_state_across_batch_sizes() {
+        let run = |batch_size: usize| {
+            let mut svc = TuningService::with_workers(2).with_batch_size(batch_size);
+            let handle = db();
+            let id = svc.add_tenant_with(
+                "t",
+                handle.clone(),
+                TenantOptions::default()
+                    .with_cache_capacity(6)
+                    .with_ibg_reuse(true),
+            );
+            svc.add_session(id, "wfit-a", wfit_builder);
+            svc.add_session(id, "wfit-b", wfit_builder);
+            let idx = handle.define_index("t", &["a"]).unwrap();
+            // Structurally distinct statements (fingerprints hash predicate
+            // shape, not literals), so batches exercise multiple cache keys.
+            let queries: Vec<_> = [
+                "SELECT b FROM t WHERE a = 1",
+                "SELECT a FROM t WHERE b = 2",
+                "SELECT b FROM t WHERE a < 5",
+                "SELECT a FROM t WHERE b < 9",
+            ]
+            .iter()
+            .map(|sql| Arc::new(handle.parse(sql).unwrap()))
+            .collect();
+            // Queries and votes interleaved so votes land on batch
+            // boundaries for every batch size under test.
+            for (round, q) in queries.iter().enumerate() {
+                svc.submit(Event::query(id, q.clone()));
+                svc.submit(Event::query(id, queries[(round + 1) % 4].clone()));
+                if round % 2 == 1 {
+                    svc.submit(Event::vote(id, IndexSet::single(idx), IndexSet::empty()));
+                }
+            }
+            svc.process_pending();
+
+            // A session created after the batch drain: it must observe the
+            // same (empty) history and the same subsequent events.
+            svc.add_session(id, "late", wfit_builder);
+            svc.submit(Event::vote(id, IndexSet::empty(), IndexSet::single(idx)));
+            for q in &queries {
+                svc.submit(Event::query(id, q.clone()));
+            }
+            svc.process_pending();
+
+            let mut fingerprint = Vec::new();
+            for sid in svc.session_ids() {
+                let stats = svc.session_stats(sid);
+                fingerprint.push(format!(
+                    "{} q={} v={} tw={} rec={} series={:?}",
+                    svc.session_label(sid),
+                    stats.queries,
+                    stats.votes,
+                    stats.total_work.to_bits(),
+                    svc.recommendation(sid),
+                    svc.cost_series(sid)
+                        .iter()
+                        .map(|c| c.to_bits())
+                        .collect::<Vec<_>>(),
+                ));
+            }
+            fingerprint
+        };
+        let sequential = run(1);
+        for batch_size in [2, 3, 8] {
+            assert_eq!(sequential, run(batch_size), "batch size {batch_size}");
+        }
+    }
+
+    #[test]
+    fn batched_ibg_reuse_cuts_optimizer_work_without_changing_costs() {
+        let run = |options: TenantOptions, batch_size: usize| {
+            let mut svc = TuningService::with_workers(1).with_batch_size(batch_size);
+            let handle = db();
+            let id = svc.add_tenant_with("t", handle.clone(), options);
+            svc.add_session(id, "wfit-a", wfit_builder);
+            svc.add_session(id, "wfit-b", wfit_builder);
+            let queries: Vec<_> = [
+                "SELECT b FROM t WHERE a = 1",
+                "SELECT a FROM t WHERE b = 2",
+                "SELECT b FROM t WHERE a < 5",
+            ]
+            .iter()
+            .map(|sql| Arc::new(handle.parse(sql).unwrap()))
+            .collect();
+            for _ in 0..3 {
+                for q in &queries {
+                    svc.submit(Event::query(id, q.clone()));
+                }
+            }
+            svc.process_pending();
+            let series: Vec<Vec<u64>> = svc
+                .session_ids()
+                .iter()
+                .map(|&sid| svc.cost_series(sid).iter().map(|c| c.to_bits()).collect())
+                .collect();
+            (series, svc.cache_stats(id), svc.ibg_stats(id))
+        };
+        let (baseline, base_cache, base_ibg) = run(TenantOptions::default(), 1);
+        let (shared, shared_cache, shared_ibg) =
+            run(TenantOptions::default().with_ibg_reuse(true), 4);
+        assert_eq!(baseline, shared, "reuse must not change any cost series");
+        assert_eq!(base_ibg, IbgStats::default());
+        assert!(shared_ibg.reuses > 0, "stats = {shared_ibg:?}");
+        assert!(
+            shared_cache.requests < base_cache.requests,
+            "reused graphs skip what-if traffic: {} !< {}",
+            shared_cache.requests,
+            base_cache.requests
+        );
     }
 
     #[test]

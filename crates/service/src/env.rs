@@ -1,7 +1,9 @@
-//! The per-tenant tuning environment: a shared database handle plus the
-//! tenant's shared what-if cost cache.
+//! The per-tenant tuning environment: a shared database handle, the tenant's
+//! shared what-if cost cache, and (optionally) its shared IBG store.
 
-use simdb::cache::SharedWhatIfCache;
+use crate::ibg_store::{IbgStats, IbgStore};
+use ibg::IndexBenefitGraph;
+use simdb::cache::{CacheConfig, SharedWhatIfCache};
 use simdb::database::Database;
 use simdb::index::{IndexId, IndexSet};
 use simdb::optimizer::PlanCost;
@@ -9,16 +11,62 @@ use simdb::query::Statement;
 use simdb::whatif::WhatIfStats;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use wfit_core::TuningEnv;
+use wfit_core::{SharedIbg, TuningEnv};
+
+/// Knobs of a tenant's environment: how what-if answers are cached and
+/// whether built IBGs are shared across the tenant's sessions.
+///
+/// The default (`unbounded cache, no IBG sharing`) reproduces the historical
+/// service behaviour bit-for-bit; production deployments bound the cache and
+/// enable IBG reuse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantOptions {
+    /// Capacity policy of the tenant's shared what-if cache; `None` disables
+    /// the cache entirely (every request runs the optimizer — the control
+    /// arm for cache-effect studies).
+    pub cache: Option<CacheConfig>,
+    /// Whether the tenant's sessions share built IBGs through an
+    /// [`IbgStore`].
+    pub ibg_reuse: bool,
+}
+
+impl Default for TenantOptions {
+    fn default() -> Self {
+        Self {
+            cache: Some(CacheConfig::unbounded()),
+            ibg_reuse: false,
+        }
+    }
+}
+
+impl TenantOptions {
+    /// Bound the shared cache to `capacity` resident entries (0 keeps it
+    /// unbounded).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Some(if capacity == 0 {
+            CacheConfig::unbounded()
+        } else {
+            CacheConfig::bounded(capacity)
+        });
+        self
+    }
+
+    /// Enable or disable cross-session IBG sharing.
+    pub fn with_ibg_reuse(mut self, reuse: bool) -> Self {
+        self.ibg_reuse = reuse;
+        self
+    }
+}
 
 /// A cloneable, owned [`TuningEnv`] over one tenant's database.
 ///
 /// Every clone shares the same [`Database`] and (optionally) the same
-/// [`SharedWhatIfCache`], so all sessions of a tenant answer what-if
-/// questions out of one memo.  Each *session* gets its own clone with a
-/// fresh request counter (see [`TenantEnv::fork_counter`]), which is how the
-/// service attributes what-if traffic to individual sessions even though the
-/// cache is shared.
+/// [`SharedWhatIfCache`] and [`IbgStore`], so all sessions of a tenant
+/// answer what-if questions out of one memo and reuse each other's IBG node
+/// expansions.  Each *session* gets its own clone with a fresh request
+/// counter (see [`TenantEnv::fork_counter`]), which is how the service
+/// attributes what-if traffic to individual sessions even though the cache
+/// is shared.
 ///
 /// Because the handle is `Arc`-backed it is `'static`, `Send` and `Sync`:
 /// advisors built over it can live inside a long-running service and migrate
@@ -28,36 +76,48 @@ use wfit_core::TuningEnv;
 pub struct TenantEnv {
     db: Arc<Database>,
     cache: Option<Arc<SharedWhatIfCache>>,
+    ibg_store: Option<Arc<IbgStore>>,
     whatif_requests: Arc<AtomicU64>,
 }
 
 impl TenantEnv {
-    /// An environment answering what-if questions through the tenant's
-    /// shared cache.
-    pub fn cached(db: Arc<Database>) -> Self {
+    /// An environment with the given cache/IBG-sharing policy.
+    pub fn with_options(db: Arc<Database>, options: TenantOptions) -> Self {
         Self {
             db,
-            cache: Some(Arc::new(SharedWhatIfCache::new())),
+            cache: options
+                .cache
+                .map(|config| Arc::new(SharedWhatIfCache::with_config(config))),
+            ibg_store: options.ibg_reuse.then(|| Arc::new(IbgStore::new())),
             whatif_requests: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// An environment answering what-if questions through an unbounded
+    /// shared cache (no IBG sharing).
+    pub fn cached(db: Arc<Database>) -> Self {
+        Self::with_options(db, TenantOptions::default())
     }
 
     /// An environment that always runs the optimizer (no shared cache) —
     /// the control arm for cache-effect measurements.
     pub fn uncached(db: Arc<Database>) -> Self {
-        Self {
+        Self::with_options(
             db,
-            cache: None,
-            whatif_requests: Arc::new(AtomicU64::new(0)),
-        }
+            TenantOptions {
+                cache: None,
+                ibg_reuse: false,
+            },
+        )
     }
 
-    /// A clone sharing the database and cache but carrying a **fresh**
-    /// what-if request counter.  The service forks one per session.
+    /// A clone sharing the database, cache and IBG store but carrying a
+    /// **fresh** what-if request counter.  The service forks one per session.
     pub fn fork_counter(&self) -> Self {
         Self {
             db: self.db.clone(),
             cache: self.cache.clone(),
+            ibg_store: self.ibg_store.clone(),
             whatif_requests: Arc::new(AtomicU64::new(0)),
         }
     }
@@ -73,9 +133,38 @@ impl TenantEnv {
         self.cache.as_ref().map(|c| c.stats()).unwrap_or_default()
     }
 
+    /// Counters of the tenant's IBG store ([`IbgStats::default`] when IBG
+    /// sharing is disabled).
+    pub fn ibg_stats(&self) -> IbgStats {
+        self.ibg_store
+            .as_ref()
+            .map(|s| s.stats())
+            .unwrap_or_default()
+    }
+
     /// Whether a shared cache is attached.
     pub fn is_cached(&self) -> bool {
         self.cache.is_some()
+    }
+
+    /// Whether an IBG store is attached.
+    pub fn shares_ibgs(&self) -> bool {
+        self.ibg_store.is_some()
+    }
+
+    /// The shared cache's capacity bound (`None` when uncached or
+    /// unbounded).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.cache.as_ref().and_then(|c| c.capacity())
+    }
+
+    /// Advance the IBG store's generation (a no-op without a store).  The
+    /// service's batch drain calls this after each coalesced query batch to
+    /// retire graphs that fell out of the working set.
+    pub fn advance_ibg_generation(&self) {
+        if let Some(store) = &self.ibg_store {
+            store.advance_generation();
+        }
     }
 
     /// What-if requests issued through *this* handle (i.e. by the session it
@@ -95,6 +184,20 @@ impl TuningEnv for TenantEnv {
             // Bypass the database's own cache as well, so cached and
             // uncached runs differ only in memoization, never in results.
             None => self.db.whatif_cost_uncached(stmt, config),
+        }
+    }
+
+    fn ibg(&self, stmt: &Statement, relevant: IndexSet) -> SharedIbg {
+        match &self.ibg_store {
+            Some(store) => {
+                let (graph, reused) = store.get_or_build(stmt.fingerprint, &relevant, || {
+                    IndexBenefitGraph::build(relevant.clone(), |cfg| self.whatif(stmt, cfg))
+                });
+                SharedIbg { graph, reused }
+            }
+            None => SharedIbg::fresh(IndexBenefitGraph::build(relevant, |cfg| {
+                self.whatif(stmt, cfg)
+            })),
         }
     }
 
@@ -148,7 +251,10 @@ mod tests {
         assert_eq!(stats.requests, 2);
         assert_eq!(stats.optimizer_calls, 1);
         assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.evictions, 0);
         assert_eq!(env.whatif_requests(), 2);
+        assert_eq!(env.cache_capacity(), None, "default cache is unbounded");
+        assert!(!env.shares_ibgs(), "IBG sharing is opt-in");
     }
 
     #[test]
@@ -178,5 +284,85 @@ mod tests {
         let e = IndexSet::empty();
         assert_eq!(cached.cost(&q, &e), uncached.cost(&q, &e));
         assert_eq!(uncached.cache_stats(), WhatIfStats::default());
+    }
+
+    #[test]
+    fn bounded_env_evicts_but_answers_identically() {
+        let db = db();
+        let bounded =
+            TenantEnv::with_options(db.clone(), TenantOptions::default().with_cache_capacity(2));
+        let uncached = TenantEnv::uncached(db.clone());
+        assert_eq!(bounded.cache_capacity(), Some(2));
+        let q = db.parse("SELECT b FROM t WHERE a = 1").unwrap();
+        let ia = db.define_index("t", &["a"]).unwrap();
+        let ib = db.define_index("t", &["b"]).unwrap();
+        let iab = db.define_index("t", &["a", "b"]).unwrap();
+        let configs = [
+            IndexSet::empty(),
+            IndexSet::single(ia),
+            IndexSet::single(ib),
+            IndexSet::single(iab),
+            IndexSet::from_iter([ia, ib]),
+            IndexSet::from_iter([ia, iab]),
+        ];
+        // Two passes over a working set of 6 > capacity 2: evictions happen,
+        // every answer still equals the uncached oracle.
+        for _ in 0..2 {
+            for config in &configs {
+                assert_eq!(bounded.cost(&q, config), uncached.cost(&q, config));
+            }
+        }
+        let stats = bounded.cache_stats();
+        assert!(stats.evictions > 0, "stats = {stats:?}");
+        assert!(stats.entries <= 2);
+    }
+
+    #[test]
+    fn ibg_store_is_shared_across_forks() {
+        let db = db();
+        let env =
+            TenantEnv::with_options(db.clone(), TenantOptions::default().with_ibg_reuse(true));
+        assert!(env.shares_ibgs());
+        let fork_a = env.fork_counter();
+        let fork_b = env.fork_counter();
+        let q = db.parse("SELECT b FROM t WHERE a = 4").unwrap();
+        let idx = db.define_index("t", &["a"]).unwrap();
+        let relevant = IndexSet::single(idx);
+
+        let first = fork_a.ibg(&q, relevant.clone());
+        assert!(!first.reused);
+        assert!(fork_a.whatif_requests() > 0, "the build issued what-ifs");
+
+        let second = fork_b.ibg(&q, relevant.clone());
+        assert!(second.reused, "second session reuses the built graph");
+        assert_eq!(fork_b.whatif_requests(), 0, "reuse issues no what-ifs");
+        assert!(Arc::ptr_eq(&first.graph, &second.graph));
+        assert_eq!(env.ibg_stats().builds, 1);
+        assert_eq!(env.ibg_stats().reuses, 1);
+
+        // The reused graph answers exactly like a fresh build.
+        let fresh = TenantEnv::cached(db.clone()).ibg(&q, relevant.clone());
+        for config in [IndexSet::empty(), relevant.clone()] {
+            assert_eq!(
+                second.graph.cost(&config).to_bits(),
+                fresh.graph.cost(&config).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn generation_advance_retires_idle_graphs() {
+        let db = db();
+        let env =
+            TenantEnv::with_options(db.clone(), TenantOptions::default().with_ibg_reuse(true));
+        let q = db.parse("SELECT b FROM t WHERE a = 5").unwrap();
+        env.ibg(&q, IndexSet::empty());
+        assert_eq!(env.ibg_stats().entries, 1);
+        env.advance_ibg_generation();
+        env.advance_ibg_generation();
+        assert_eq!(env.ibg_stats().entries, 0);
+        assert_eq!(env.ibg_stats().retired, 1);
+        // A no-op on environments without a store.
+        TenantEnv::cached(db).advance_ibg_generation();
     }
 }

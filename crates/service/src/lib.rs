@@ -8,8 +8,12 @@
 //! * a **tenant registry** — each tenant is one database
 //!   ([`simdb::Database`] behind an `Arc`) plus a
 //!   [`simdb::cache::SharedWhatIfCache`] shared by all of the tenant's
-//!   sessions, so redundant what-if optimization across sessions collapses
-//!   into cache hits;
+//!   sessions (optionally capacity-bounded with deterministic CLOCK
+//!   eviction, see [`simdb::cache::CacheConfig`]), and optionally an
+//!   [`IbgStore`] interning built index benefit graphs by statement
+//!   fingerprint so concurrent sessions reuse node expansions
+//!   ([`TenantOptions`]) — redundant what-if optimization across sessions
+//!   collapses into cache hits and graph reuses;
 //! * a fleet of **tuning sessions** per tenant — each a
 //!   [`wfit_core::TuningSession`] driving any boxed
 //!   [`wfit_core::IndexAdvisor`] (WFIT, BC, …) over the tenant's
@@ -17,7 +21,10 @@
 //! * one **event queue** per tenant — [`Event::Query`] and [`Event::Vote`]
 //!   items submitted with [`TuningService::submit`] are sharded by tenant id
 //!   and drained in submission order by [`TuningService::process_pending`],
-//!   which runs tenants in parallel on a `std::thread::scope` worker pool.
+//!   which runs tenants in parallel on a `std::thread::scope` worker pool;
+//!   with [`TuningService::with_batch_size`] runs of consecutive queries are
+//!   coalesced and processed session-major against one warmed cache
+//!   generation (votes always close a batch).
 //!
 //! Per-tenant results are bit-deterministic: one worker processes one
 //! tenant's events in order, tenants share no mutable state, and the shared
@@ -75,7 +82,9 @@
 pub mod daemon;
 pub mod env;
 pub mod event;
+pub mod ibg_store;
 
 pub use daemon::{BatchReport, ServiceSession, TuningService};
-pub use env::TenantEnv;
+pub use env::{TenantEnv, TenantOptions};
 pub use event::{Event, SessionId, TenantId};
+pub use ibg_store::{IbgStats, IbgStore};

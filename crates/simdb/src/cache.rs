@@ -1,4 +1,5 @@
-//! A concurrent, interned what-if cost cache shared across tuning sessions.
+//! A concurrent, interned, capacity-bounded what-if cost cache shared across
+//! tuning sessions.
 //!
 //! [`crate::whatif::WhatIfCache`] is the per-[`crate::Database`] memo behind
 //! `whatif_cost`; this module provides the *service-level* layer on top: one
@@ -8,33 +9,95 @@
 //! §6.2), and sessions of one tenant ask overwhelmingly overlapping
 //! questions, so sharing the memo converts most of that work into lookups.
 //!
-//! Two design points keep the shared cache cheap under concurrency:
+//! Three design points keep the shared cache cheap under concurrency *and*
+//! bounded in memory:
 //!
 //! * **Interning.**  Statement fingerprints (`u64`) and index configurations
 //!   ([`IndexSet`], a sorted id vector) are interned to dense `u32` ids
 //!   ([`StmtId`], [`ConfigId`]) on first sight.  Cache entries are then keyed
 //!   by a single `(u32, u32)` pair — hashing is one shot on a `u64`, and the
 //!   hot map never clones an `IndexSet` per entry.
-//! * **Sharding.**  Entries are spread over [`SHARD_COUNT`] independent
-//!   `RwLock`-protected maps selected by a mix of the interned ids, so
+//! * **Sharding.**  Entries are spread over up to [`SHARD_COUNT`] independent
+//!   `RwLock`-protected shards selected by a mix of the interned ids, so
 //!   concurrent sessions rarely contend on the same lock, and lookups (the
 //!   common case once the cache is warm) take only a read lock.
+//! * **Bounded occupancy.**  A [`CacheConfig`] capacity caps the number of
+//!   resident plan costs.  Each shard runs an independent CLOCK
+//!   (second-chance) sweep over its slots: hits set a per-slot reference bit
+//!   under the read lock (an `AtomicBool`, so the hot path never upgrades to
+//!   a write lock), and an insert into a full shard advances the clock hand,
+//!   clearing reference bits until it finds an unreferenced victim.  The
+//!   per-shard capacities sum to exactly the configured capacity, so
+//!   [`SharedWhatIfCache::len`] can never exceed it.
+//!
+//! **Determinism.**  Victim selection depends only on the order of requests
+//! against a shard (slot order is insertion order, the hand advances
+//! deterministically, and reference bits are set by requests).  A tenant's
+//! events are drained sequentially by one service worker, so eviction order —
+//! and therefore every hit/miss/eviction counter — is a pure function of the
+//! tenant's event order, which is what lets bounded-cache scenarios live in
+//! the byte-identical golden regression suite.
 //!
 //! Hit/miss accounting uses the same [`WhatIfStats`] counters as the
 //! per-database cache, so reports can present both layers uniformly.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::index::IndexSet;
 use crate::optimizer::PlanCost;
 use crate::whatif::WhatIfStats;
 
-/// Number of independent shards of the entry map.  A fixed power of two keeps
-/// shard selection a mask; 16 is far above the worker counts this workspace
-/// runs with, so lock contention is negligible.
+/// Maximum number of independent shards of the entry map.  16 is far above
+/// the worker counts this workspace runs with, so lock contention is
+/// negligible; bounded caches with a capacity below 16 use fewer shards so
+/// the per-shard capacities can sum to exactly the configured capacity.
 pub const SHARD_COUNT: usize = 16;
+
+/// Capacity policy of a [`SharedWhatIfCache`].
+///
+/// The default is [`CacheConfig::unbounded`], which reproduces the historical
+/// grow-forever behaviour bit-for-bit; [`CacheConfig::bounded`] caps the
+/// number of resident plan costs and evicts with a deterministic sharded
+/// CLOCK sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum number of resident plan-cost entries; `0` means unbounded.
+    ///
+    /// The bound covers the memoized [`PlanCost`] values (the dominant
+    /// memory consumer — each holds a plan description and an index set);
+    /// the two interner maps are tiny (a few bytes per distinct statement or
+    /// configuration) and are not evicted, so interned ids stay stable for
+    /// the lifetime of the cache.
+    pub capacity: usize,
+}
+
+impl CacheConfig {
+    /// No capacity bound: entries are never evicted.
+    pub fn unbounded() -> Self {
+        Self { capacity: 0 }
+    }
+
+    /// Bound the cache to at most `capacity` resident entries (clamped to at
+    /// least 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Whether a capacity bound is in force.
+    pub fn is_bounded(&self) -> bool {
+        self.capacity > 0
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
 
 /// Interned id of a statement fingerprint (dense, starting at 0).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,15 +107,34 @@ pub struct StmtId(pub u32);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConfigId(pub u32);
 
-/// A concurrent what-if cost cache with interned keys, shared by all tuning
-/// sessions of one tenant.
+/// One resident cache entry: the interned key, the memoized plan cost, and
+/// the CLOCK reference bit (set on every hit, cleared by the sweeping hand).
+#[derive(Debug)]
+struct Slot {
+    key: (StmtId, ConfigId),
+    value: PlanCost,
+    referenced: AtomicBool,
+}
+
+/// One independent shard: a key → slot index map plus the slot arena the
+/// CLOCK hand sweeps.  Slot order is insertion order, so victim selection is
+/// a pure function of the request order against this shard.
+#[derive(Debug, Default)]
+struct Shard {
+    map: HashMap<(StmtId, ConfigId), usize>,
+    slots: Vec<Slot>,
+    hand: usize,
+}
+
+/// A concurrent what-if cost cache with interned keys and optional capacity
+/// bounding, shared by all tuning sessions of one tenant.
 ///
 /// ```
-/// use simdb::cache::SharedWhatIfCache;
+/// use simdb::cache::{CacheConfig, SharedWhatIfCache};
 /// use simdb::index::{IndexId, IndexSet};
 /// use simdb::optimizer::PlanCost;
 ///
-/// let cache = SharedWhatIfCache::new();
+/// let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(2));
 /// let config = IndexSet::single(IndexId(3));
 /// let compute = || PlanCost { total: 42.0, used_indexes: config.clone(), description: String::new() };
 /// assert_eq!(cache.get_or_compute(7, &config, compute).total, 42.0);
@@ -60,15 +142,28 @@ pub struct ConfigId(pub u32);
 /// let hit = cache.get_or_compute(7, &config, || unreachable!("must be cached"));
 /// assert_eq!(hit.total, 42.0);
 /// assert_eq!(cache.stats().cache_hits, 1);
+/// // The resident set never exceeds the configured capacity.
+/// for f in 0..100 {
+///     cache.get_or_compute(f, &IndexSet::empty(), || PlanCost {
+///         total: f as f64, used_indexes: IndexSet::empty(), description: String::new(),
+///     });
+/// }
+/// assert!(cache.len() <= 2);
+/// assert!(cache.stats().evictions > 0);
 /// ```
 #[derive(Debug)]
 pub struct SharedWhatIfCache {
+    config: CacheConfig,
     stmts: RwLock<HashMap<u64, StmtId>>,
     configs: RwLock<HashMap<IndexSet, ConfigId>>,
-    shards: Vec<RwLock<HashMap<(StmtId, ConfigId), PlanCost>>>,
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard capacity (`usize::MAX` when unbounded); the values sum to
+    /// exactly `config.capacity` when bounded.
+    shard_caps: Vec<usize>,
     requests: AtomicU64,
     optimizer_calls: AtomicU64,
     cache_hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for SharedWhatIfCache {
@@ -78,18 +173,55 @@ impl Default for SharedWhatIfCache {
 }
 
 impl SharedWhatIfCache {
-    /// Create an empty cache.
+    /// Create an empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_config(CacheConfig::unbounded())
+    }
+
+    /// Create an empty cache with the given capacity policy.
+    pub fn with_config(config: CacheConfig) -> Self {
+        let shard_count = if config.is_bounded() {
+            // Small capacities use fewer shards so every shard keeps at
+            // least two slots — with a single slot the CLOCK sweep would
+            // degenerate into evict-on-every-insert and the second-chance
+            // property would be lost.
+            (config.capacity / 2).clamp(1, SHARD_COUNT)
+        } else {
+            SHARD_COUNT
+        };
+        let shard_caps: Vec<usize> = if config.is_bounded() {
+            // Distribute the capacity so the per-shard caps sum to exactly
+            // `capacity` (the first `capacity % shard_count` shards get one
+            // extra slot).
+            (0..shard_count)
+                .map(|i| {
+                    config.capacity / shard_count + usize::from(i < config.capacity % shard_count)
+                })
+                .collect()
+        } else {
+            vec![usize::MAX; shard_count]
+        };
         Self {
+            config,
             stmts: RwLock::new(HashMap::new()),
             configs: RwLock::new(HashMap::new()),
-            shards: (0..SHARD_COUNT)
-                .map(|_| RwLock::new(HashMap::new()))
-                .collect(),
+            shards: (0..shard_count).map(|_| RwLock::default()).collect(),
+            shard_caps,
             requests: AtomicU64::new(0),
             optimizer_calls: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The capacity policy the cache was created with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Maximum number of resident entries (`None` when unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.config.is_bounded().then_some(self.config.capacity)
     }
 
     /// Intern a statement fingerprint.  The same fingerprint always maps to
@@ -124,15 +256,16 @@ impl SharedWhatIfCache {
         self.configs.read().len()
     }
 
-    fn shard_of(stmt: StmtId, config: ConfigId) -> usize {
+    fn shard_of(&self, stmt: StmtId, config: ConfigId) -> usize {
         // Mix both ids so neither a statement-heavy nor a config-heavy key
         // distribution collapses onto one shard.
         let mix = (stmt.0 as u64).wrapping_mul(0x9E37_79B9) ^ (config.0 as u64);
-        (mix as usize) & (SHARD_COUNT - 1)
+        (mix as usize) % self.shards.len()
     }
 
     /// Fetch the plan cost for `(fingerprint, config)`, computing it with
-    /// `compute` on a miss and memoizing the result.
+    /// `compute` on a miss and memoizing the result (possibly evicting the
+    /// shard's CLOCK victim when the cache is bounded).
     ///
     /// Concurrent misses on the same key may both run `compute`; the result
     /// is identical (the cost model is deterministic), so the only waste is
@@ -148,36 +281,87 @@ impl SharedWhatIfCache {
             self.intern_statement(fingerprint),
             self.intern_config(config),
         );
-        let shard = &self.shards[Self::shard_of(key.0, key.1)];
-        if let Some(hit) = shard.read().get(&key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+        let shard_index = self.shard_of(key.0, key.1);
+        {
+            let guard = self.shards[shard_index].read();
+            if let Some(&idx) = guard.map.get(&key) {
+                let slot = &guard.slots[idx];
+                slot.referenced.store(true, Ordering::Relaxed);
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return slot.value.clone();
+            }
         }
         self.optimizer_calls.fetch_add(1, Ordering::Relaxed);
         let value = compute();
-        shard.write().insert(key, value.clone());
+        self.insert(shard_index, key, value.clone());
         value
     }
 
-    /// Current counter values.
+    /// Insert under the shard's write lock, evicting the CLOCK victim if the
+    /// shard is at capacity.
+    fn insert(&self, shard_index: usize, key: (StmtId, ConfigId), value: PlanCost) {
+        let cap = self.shard_caps[shard_index];
+        let mut guard = self.shards[shard_index].write();
+        if let Some(&idx) = guard.map.get(&key) {
+            // A concurrent miss on the same key won the race; keep its entry.
+            guard.slots[idx].referenced.store(true, Ordering::Relaxed);
+            return;
+        }
+        if guard.slots.len() < cap {
+            let idx = guard.slots.len();
+            guard.slots.push(Slot {
+                key,
+                value,
+                referenced: AtomicBool::new(false),
+            });
+            guard.map.insert(key, idx);
+            return;
+        }
+        // CLOCK sweep: give every referenced slot a second chance, evict the
+        // first unreferenced one.  Terminates within two revolutions.
+        let victim = loop {
+            let hand = guard.hand;
+            guard.hand = (guard.hand + 1) % guard.slots.len();
+            let slot = &guard.slots[hand];
+            if slot.referenced.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            break hand;
+        };
+        let old_key = guard.slots[victim].key;
+        guard.map.remove(&old_key);
+        guard.slots[victim] = Slot {
+            key,
+            value,
+            referenced: AtomicBool::new(false),
+        };
+        guard.map.insert(key, victim);
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current counter values, including the resident entry count.
     pub fn stats(&self) -> WhatIfStats {
         WhatIfStats {
             requests: self.requests.load(Ordering::Relaxed),
             optimizer_calls: self.optimizer_calls.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
         }
     }
 
-    /// Reset the counters (cache contents and interners are kept).
+    /// Reset the counters (cache contents and interners are kept, so
+    /// [`WhatIfStats::entries`] reflects the retained occupancy).
     pub fn reset_stats(&self) {
         self.requests.store(0, Ordering::Relaxed);
         self.optimizer_calls.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 
     /// Number of cached plan costs across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        self.shards.iter().map(|s| s.read().slots.len()).sum()
     }
 
     /// Whether no plan cost is cached.
@@ -188,7 +372,10 @@ impl SharedWhatIfCache {
     /// Drop all cached plans and interned ids.
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.write().clear();
+            let mut guard = shard.write();
+            guard.map.clear();
+            guard.slots.clear();
+            guard.hand = 0;
         }
         self.stmts.write().clear();
         self.configs.write().clear();
@@ -233,6 +420,7 @@ mod tests {
     #[test]
     fn hit_miss_accounting() {
         let cache = SharedWhatIfCache::new();
+        assert_eq!(cache.capacity(), None);
         let e = IndexSet::empty();
         let a = IndexSet::single(IndexId(1));
         assert_eq!(cache.get_or_compute(1, &e, || plan(10.0)).total, 10.0);
@@ -244,12 +432,20 @@ mod tests {
         assert_eq!(stats.requests, 5);
         assert_eq!(stats.optimizer_calls, 3);
         assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.evictions, 0, "unbounded caches never evict");
+        assert_eq!(stats.entries, 3);
         assert!((stats.hit_rate() - 0.4).abs() < 1e-12);
         assert_eq!(cache.len(), 3);
 
         cache.reset_stats();
-        assert_eq!(cache.stats(), WhatIfStats::default());
-        assert_eq!(cache.len(), 3, "reset_stats keeps the entries");
+        assert_eq!(
+            cache.stats(),
+            WhatIfStats {
+                entries: 3,
+                ..WhatIfStats::default()
+            },
+            "reset_stats keeps the entries"
+        );
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.distinct_statements(), 0);
@@ -261,9 +457,80 @@ mod tests {
         for f in 0..64u64 {
             cache.get_or_compute(f, &IndexSet::empty(), || plan(f as f64));
         }
-        let occupied = cache.shards.iter().filter(|s| !s.read().is_empty()).count();
+        let occupied = cache
+            .shards
+            .iter()
+            .filter(|s| !s.read().slots.is_empty())
+            .count();
         assert!(occupied > 1, "64 keys must not collapse onto one shard");
         assert_eq!(cache.len(), 64);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_and_never_exceeds_capacity() {
+        let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(8));
+        assert_eq!(cache.capacity(), Some(8));
+        for round in 0..3 {
+            for f in 0..32u64 {
+                let got = cache.get_or_compute(f, &IndexSet::empty(), || plan(f as f64));
+                assert_eq!(got.total, f as f64, "round {round}");
+                assert!(cache.len() <= 8, "len {} exceeds capacity", cache.len());
+            }
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        assert_eq!(stats.entries as usize, cache.len());
+        assert_eq!(stats.requests, 96);
+        assert_eq!(stats.optimizer_calls + stats.cache_hits, 96);
+        // Interners are not evicted: every distinct fingerprint stays known.
+        assert_eq!(cache.distinct_statements(), 32);
+    }
+
+    #[test]
+    fn tiny_capacities_use_fewer_shards_and_stay_exact() {
+        for capacity in [1usize, 2, 3, 5, 10, 17] {
+            let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(capacity));
+            assert_eq!(cache.shard_caps.iter().sum::<usize>(), capacity);
+            for f in 0..40u64 {
+                cache.get_or_compute(f, &IndexSet::empty(), || plan(f as f64));
+                assert!(cache.len() <= capacity, "capacity {capacity}");
+            }
+        }
+    }
+
+    #[test]
+    fn clock_gives_hit_entries_a_second_chance() {
+        // Capacity 2 ⇒ a single shard with two slots: the hot key is
+        // re-referenced before every insert, so the sweep always clears its
+        // bit, gives it a second chance, and evicts the cold slot instead.
+        let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(2));
+        let e = IndexSet::empty();
+        cache.get_or_compute(0, &e, || plan(0.0)); // hot key
+        cache.get_or_compute(1, &e, || plan(1.0));
+        for f in 2..10u64 {
+            // Touch the hot key, then insert a new one: the sweep must evict
+            // the cold newcomer, never the just-referenced hot key.
+            let hot = cache.get_or_compute(0, &e, || unreachable!("hot key evicted"));
+            assert_eq!(hot.total, 0.0);
+            cache.get_or_compute(f, &e, || plan(f as f64));
+        }
+        assert!(cache.stats().evictions >= 7);
+    }
+
+    #[test]
+    fn eviction_is_deterministic_for_identical_request_orders() {
+        let run = || {
+            let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(6));
+            let e = IndexSet::empty();
+            for step in 0..200u64 {
+                // A skewed, repeating pattern with re-references.
+                let f = (step * step + 3) % 17;
+                cache.get_or_compute(f, &e, || plan(f as f64));
+            }
+            let stats = cache.stats();
+            (stats.cache_hits, stats.evictions, stats.entries)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct WhatIfStats {
     pub optimizer_calls: u64,
     /// Number of requests answered from the cache.
     pub cache_hits: u64,
+    /// Number of entries evicted to honor a capacity bound (0 for unbounded
+    /// caches).
+    pub evictions: u64,
+    /// Number of entries resident at snapshot time (occupancy).
+    pub entries: u64,
 }
 
 impl WhatIfStats {
@@ -38,12 +43,17 @@ impl WhatIfStats {
     }
 
     /// Merge counters from another stats snapshot (used to aggregate the
-    /// per-tenant caches of a multi-tenant service).
+    /// per-tenant caches of a multi-tenant service, and the per-shard
+    /// snapshots of a sharded cache).  Field-wise addition, so the operation
+    /// is associative and commutative with [`WhatIfStats::default`] as the
+    /// identity — aggregation order can never change a report.
     pub fn merge(&self, other: &WhatIfStats) -> WhatIfStats {
         WhatIfStats {
             requests: self.requests + other.requests,
             optimizer_calls: self.optimizer_calls + other.optimizer_calls,
             cache_hits: self.cache_hits + other.cache_hits,
+            evictions: self.evictions + other.evictions,
+            entries: self.entries + other.entries,
         }
     }
 }
@@ -86,12 +96,15 @@ impl WhatIfCache {
         value
     }
 
-    /// Current counter values.
+    /// Current counter values.  This per-database memo never evicts, so
+    /// `evictions` is always 0 and `entries` mirrors [`WhatIfCache::len`].
     pub fn stats(&self) -> WhatIfStats {
         WhatIfStats {
             requests: self.requests.load(Ordering::Relaxed),
             optimizer_calls: self.optimizer_calls.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            evictions: 0,
+            entries: self.len() as u64,
         }
     }
 
@@ -163,7 +176,14 @@ mod tests {
         let cache = WhatIfCache::new();
         cache.get_or_compute(1, &IndexSet::empty(), || plan(1.0));
         cache.reset_stats();
-        assert_eq!(cache.stats(), WhatIfStats::default());
+        assert_eq!(
+            cache.stats(),
+            WhatIfStats {
+                entries: 1,
+                ..WhatIfStats::default()
+            },
+            "reset clears the counters but keeps the entries"
+        );
         assert!(!cache.is_empty());
         cache.clear();
         assert!(cache.is_empty());

@@ -2,6 +2,10 @@
 //! independent benchmark workload stream, served concurrently by one
 //! `TuningService` — a WFIT session and a BC session per tenant, both
 //! answering what-if questions out of the tenant's shared cost cache.
+//! The hot-path knobs are all on: each tenant's cache is capacity-bounded
+//! (deterministic CLOCK eviction), built IBGs are shared across the
+//! tenant's sessions, and the drain coalesces queries into session-major
+//! batches.
 //!
 //! Run with `cargo run --release --example tuning_service`.
 
@@ -9,18 +13,22 @@ use std::sync::Arc;
 
 use wfit::core::candidates::offline_selection;
 use wfit::core::IndexAdvisor;
-use wfit::service::{Event, SessionId, TuningService};
+use wfit::service::{Event, SessionId, TenantOptions, TuningService};
 use wfit::workload::{Benchmark, BenchmarkSpec};
 use wfit::{IndexSet, Wfit, WfitConfig};
 
 const TENANTS: usize = 8;
 const STATEMENTS_PER_PHASE: usize = 8;
+/// Per-tenant cap on resident what-if plan costs.
+const CACHE_CAPACITY: usize = 256;
+/// Consecutive queries coalesced into one session-major batch.
+const BATCH_SIZE: usize = 8;
 
 fn main() {
     // Generate eight independent tenant workloads (same benchmark shape,
     // decorrelated seeds) and mine each tenant's offline candidates.
     println!("preparing {TENANTS} tenant workloads…");
-    let mut service = TuningService::new();
+    let mut service = TuningService::new().with_batch_size(BATCH_SIZE);
     let mut streams = Vec::new();
     for t in 0..TENANTS {
         let bench = Benchmark::generate(BenchmarkSpec {
@@ -32,7 +40,13 @@ fn main() {
         let Benchmark { db, statements, .. } = bench;
         let db = Arc::new(db);
 
-        let tenant = service.add_tenant(format!("tenant-{t}"), db);
+        let tenant = service.add_tenant_with(
+            format!("tenant-{t}"),
+            db,
+            TenantOptions::default()
+                .with_cache_capacity(CACHE_CAPACITY)
+                .with_ibg_reuse(true),
+        );
         let partition = selection.partition.clone();
         service.add_session(tenant, "wfit", move |env| {
             Box::new(Wfit::with_fixed_partition(
@@ -84,6 +98,17 @@ fn main() {
         cache.requests,
         cache.optimizer_calls,
         cache.hit_rate()
+    );
+    println!(
+        "cache bounding: {} entries resident (≤ {} per tenant), {} evicted",
+        cache.entries, CACHE_CAPACITY, cache.evictions
+    );
+    let ibg = service.aggregate_ibg_stats();
+    println!(
+        "ibg stores: {} graphs built, {} reused across sessions (reuse rate {:.3})",
+        ibg.builds,
+        ibg.reuses,
+        ibg.reuse_rate()
     );
 
     println!();

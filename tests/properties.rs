@@ -319,6 +319,169 @@ mod ibg_properties {
     }
 }
 
+/// Properties of the bounded shared what-if cache and its statistics
+/// counters (the service hot path).
+mod cache_properties {
+    use super::*;
+    use simdb::cache::{CacheConfig, SharedWhatIfCache};
+    use simdb::catalog::CatalogBuilder;
+    use simdb::database::Database;
+    use simdb::optimizer::PlanCost;
+    use simdb::query::{build, PredicateKind};
+    use simdb::types::DataType;
+    use simdb::whatif::WhatIfStats;
+
+    fn database() -> (Database, Vec<IndexId>) {
+        let mut b = CatalogBuilder::new();
+        b.table("t")
+            .rows(800_000.0)
+            .column("a", DataType::Integer, 150_000.0)
+            .column("b", DataType::Integer, 40_000.0)
+            .column("c", DataType::Integer, 512.0)
+            .finish();
+        let db = Database::new(b.build());
+        let t = db.catalog().table_by_name("t").unwrap();
+        let cols: Vec<simdb::ColumnId> = db.catalog().table(t).columns.clone();
+        let i1 = db.define_index_on(t, vec![cols[0]]);
+        let i2 = db.define_index_on(t, vec![cols[1]]);
+        let i3 = db.define_index_on(t, vec![cols[0], cols[1]]);
+        (db, vec![i1, i2, i3])
+    }
+
+    fn statement(db: &Database, sel_a: f64, sel_b: f64) -> simdb::query::Statement {
+        let t = db.catalog().table_by_name("t").unwrap();
+        let cols: Vec<simdb::ColumnId> = db.catalog().table(t).columns.clone();
+        build::select()
+            .table(t)
+            .predicate(t, cols[0], PredicateKind::Range, sel_a)
+            .predicate(t, cols[1], PredicateKind::Range, sel_b)
+            .output(cols[2])
+            .build()
+    }
+
+    fn config_of(idx: &[IndexId], mask: usize) -> IndexSet {
+        IndexSet::from_iter(
+            idx.iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, id)| *id),
+        )
+    }
+
+    fn synthetic_plan(fingerprint: u64, mask: usize) -> PlanCost {
+        PlanCost {
+            total: (fingerprint * 31 + mask as u64) as f64,
+            used_indexes: IndexSet::empty(),
+            description: String::new(),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Satellite invariant: a bounded cache never holds more entries
+        /// than its capacity — not at the end of a run, and not at any
+        /// intermediate point — and its counters always reconcile.
+        #[test]
+        fn bounded_cache_never_exceeds_capacity(
+            capacity in 1usize..48,
+            fingerprints in proptest::collection::vec(0u64..24, 150),
+            masks in proptest::collection::vec(0usize..8, 150),
+        ) {
+            let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(capacity));
+            let (_, idx) = database();
+            for (&f, &mask) in fingerprints.iter().zip(&masks) {
+                let got = cache.get_or_compute(f, &config_of(&idx, mask), || synthetic_plan(f, mask));
+                // Cached or freshly computed, the value is the pure function
+                // of the key.
+                prop_assert_eq!(got.total.to_bits(), synthetic_plan(f, mask).total.to_bits());
+                prop_assert!(
+                    cache.len() <= capacity,
+                    "len {} > capacity {capacity}",
+                    cache.len()
+                );
+            }
+            let stats = cache.stats();
+            prop_assert_eq!(stats.requests, 150);
+            prop_assert_eq!(stats.optimizer_calls + stats.cache_hits, stats.requests);
+            prop_assert!(stats.entries as usize <= capacity);
+            // Every eviction was preceded by an insert of the evicted entry,
+            // and the resident entries are exactly inserts minus evictions.
+            prop_assert!(stats.evictions <= stats.optimizer_calls);
+            prop_assert_eq!(stats.optimizer_calls - stats.evictions, stats.entries);
+        }
+
+        /// Satellite invariant: eviction followed by refill returns costs
+        /// bit-identical to the `whatif_cost_uncached` oracle — a bounded
+        /// cache can change *when* the optimizer runs, never *what* it
+        /// answers.
+        #[test]
+        fn evicted_entries_refill_to_identical_costs(
+            capacity in 1usize..10,
+            sel_a in 1e-6f64..0.5,
+            sel_b in 1e-6f64..0.5,
+            stmt_picks in proptest::collection::vec(0usize..3, 90),
+            masks in proptest::collection::vec(0usize..8, 90),
+        ) {
+            let (db, idx) = database();
+            let stmts = [
+                statement(&db, sel_a, sel_b),
+                statement(&db, sel_a / 2.0, sel_b),
+                statement(&db, sel_a, sel_b / 3.0),
+            ];
+            let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(capacity));
+            for (&pick, &mask) in stmt_picks.iter().zip(&masks) {
+                let stmt = &stmts[pick];
+                let config = config_of(&idx, mask);
+                let got = cache.get_or_compute(stmt.fingerprint, &config, || {
+                    db.whatif_cost_uncached(stmt, &config)
+                });
+                let oracle = db.whatif_cost_uncached(stmt, &config);
+                prop_assert_eq!(got.total.to_bits(), oracle.total.to_bits());
+                prop_assert_eq!(&got.used_indexes, &oracle.used_indexes);
+            }
+            // With a working set of up to 24 keys and capacity < 10, the run
+            // must actually have exercised the eviction path.
+            prop_assert!(cache.stats().evictions > 0 || cache.distinct_statements() * 8 <= capacity);
+        }
+
+        /// Satellite invariant: `WhatIfStats::merge` is associative and
+        /// commutative with `default()` as identity, so aggregating shard or
+        /// tenant snapshots can never depend on order.
+        #[test]
+        fn whatif_stats_merge_is_associative_and_commutative(
+            requests in proptest::collection::vec(0u64..10_000, 6),
+            optimizer_calls in proptest::collection::vec(0u64..10_000, 6),
+            cache_hits in proptest::collection::vec(0u64..10_000, 6),
+            evictions in proptest::collection::vec(0u64..10_000, 6),
+            entries in proptest::collection::vec(0u64..10_000, 6),
+        ) {
+            let shards: Vec<WhatIfStats> = (0..6)
+                .map(|i| WhatIfStats {
+                    requests: requests[i],
+                    optimizer_calls: optimizer_calls[i],
+                    cache_hits: cache_hits[i],
+                    evictions: evictions[i],
+                    entries: entries[i],
+                })
+                .collect();
+            for a in &shards {
+                prop_assert_eq!(a.merge(&WhatIfStats::default()), *a);
+                for b in &shards {
+                    prop_assert_eq!(a.merge(b), b.merge(a));
+                    for c in &shards {
+                        prop_assert_eq!(a.merge(b).merge(c), a.merge(&b.merge(c)));
+                    }
+                }
+            }
+            // Folding left and right over all shards agrees.
+            let left = shards.iter().fold(WhatIfStats::default(), |acc, s| acc.merge(s));
+            let right = shards.iter().rev().fold(WhatIfStats::default(), |acc, s| s.merge(&acc));
+            prop_assert_eq!(left, right);
+        }
+    }
+}
+
 /// Property tests against the real simulated DBMS (fewer cases, heavier).
 mod simdb_properties {
     use super::*;

@@ -179,6 +179,55 @@ fn service_mini_matches_golden() {
 }
 
 #[test]
+fn service_evict_mini_matches_golden() {
+    let spec = scenarios::service_evict_mini();
+    let report = check_report_against_golden(&spec.name.clone(), run_service_scenario(&spec));
+    let service = report.service.as_ref().expect("service summary present");
+    // The scenario's whole point: the capacity is below the working set, so
+    // the CLOCK sweep must evict continuously while occupancy stays bounded.
+    assert!(
+        service.cache_evictions > 0,
+        "capacity {} must force evictions",
+        scenarios::EVICT_MINI_CACHE_CAPACITY
+    );
+    assert!(
+        service.cache_entries as usize <= 3 * scenarios::EVICT_MINI_CACHE_CAPACITY,
+        "3 tenants × {} capacity bounds occupancy, got {}",
+        scenarios::EVICT_MINI_CACHE_CAPACITY,
+        service.cache_entries
+    );
+    assert!(
+        service.ibg_reuses > 0,
+        "fleet sessions must reuse each other's IBGs"
+    );
+    assert!(service.cache_hit_rate > 0.0 && service.cache_hit_rate < 1.0);
+
+    // Bounding the cache, batching the drain and sharing IBGs may only
+    // change overhead counters: every cost-derived metric must be
+    // bit-identical to the unbounded `service-mini` run of the same
+    // workload.
+    let unbounded = run_service_scenario(&scenarios::service_mini());
+    assert_eq!(unbounded.cells.len(), report.cells.len());
+    for (u, b) in unbounded.cells.iter().zip(&report.cells) {
+        assert_eq!(u.label, b.label);
+        assert_eq!(
+            u.total_work.to_bits(),
+            b.total_work.to_bits(),
+            "{}",
+            u.label
+        );
+        assert_eq!(u.ratio_series, b.ratio_series, "{}", u.label);
+        assert_eq!(u.transitions, b.transitions, "{}", u.label);
+    }
+    assert_eq!(unbounded.service.as_ref().unwrap().cache_evictions, 0);
+
+    // Determinism: a rerun (parallel workers, eviction, batching and all)
+    // renders byte-identical deterministic JSON.
+    let rerun = run_service_scenario(&scenarios::service_evict_mini());
+    assert_eq!(report.to_json(), rerun.to_json());
+}
+
+#[test]
 fn service_replay_is_deterministic_for_identical_seeds() {
     // Byte-identical deterministic JSON across two full service replays —
     // including the parallel per-tenant workers and the shared-cache
@@ -199,9 +248,20 @@ fn service_replay_is_deterministic_for_identical_seeds() {
 /// invariant from regressing, for the service crate as well.  Reading *any*
 /// environment variable from library code under `crates/harness` or
 /// `crates/service` is a violation — env access belongs to the bench and
-/// test entry points.
+/// test entry points.  The hot-path knobs added with the bounded cache
+/// (`WFIT_CACHE_CAP`, `WFIT_BATCH`, `WFIT_IBG_REUSE`, `WFIT_TENANTS`) are
+/// held to the same rule: they may appear only in bench `main`s, never in
+/// library code, where the equivalent setting is an explicit spec field
+/// (`ServiceScenarioSpec::{cache_capacity, batch_size, ibg_reuse, tenants}`).
 #[test]
 fn harness_and_service_never_read_env_vars() {
+    const KNOB_NAMES: [&str; 5] = [
+        "WFIT_PHASE_LEN",
+        "WFIT_CACHE_CAP",
+        "WFIT_BATCH",
+        "WFIT_IBG_REUSE",
+        "WFIT_TENANTS",
+    ];
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();
     for crate_dir in ["crates/harness/src", "crates/service/src"] {
@@ -220,7 +280,9 @@ fn harness_and_service_never_read_env_vars() {
                 let source = fs::read_to_string(&path).expect("source readable");
                 for (lineno, line) in source.lines().enumerate() {
                     let code = line.split("//").next().unwrap_or("");
-                    if code.contains("env::var") || code.contains("env!(\"WFIT_PHASE_LEN\")") {
+                    if code.contains("env::var")
+                        || KNOB_NAMES.iter().any(|knob| code.contains(knob))
+                    {
                         offenders.push(format!(
                             "{}:{}: {}",
                             path.display(),

@@ -1,0 +1,276 @@
+//! Concurrency stress suite for the service hot path: N threads hammering
+//! one tenant's [`SharedWhatIfCache`] and [`IbgStore`] with overlapping
+//! fingerprints.
+//!
+//! What these tests pin down:
+//!
+//! * **No deadlock / no panic** — every scenario joins all of its threads
+//!   (a deadlock would hang the suite, a lock-order bug would panic).
+//! * **Values are never corrupted** — under arbitrary interleavings, with
+//!   and without eviction pressure, every answer equals the deterministic
+//!   oracle (`whatif_cost_uncached`, or the pure synthetic cost function);
+//!   the final cost map of an unbounded cache equals a single-threaded
+//!   replay of the same requests, bit for bit.
+//! * **Counters reconcile** — every request is counted as exactly one hit or
+//!   one miss, evictions never exceed inserts, occupancy never exceeds
+//!   capacity, and the per-session fork counters of a [`TenantEnv`] sum to
+//!   the shared cache's request counter.
+//!
+//! The harness golden suite covers the *deterministic* single-worker drain;
+//! this suite covers the concurrent access patterns the shared structures
+//! must additionally survive (many sessions of one tenant analyzing in
+//! parallel, the deployment shape the ROADMAP's async-ingestion work needs).
+
+use simdb::cache::{CacheConfig, SharedWhatIfCache};
+use simdb::catalog::CatalogBuilder;
+use simdb::database::Database;
+use simdb::index::{IndexId, IndexSet};
+use simdb::optimizer::PlanCost;
+use simdb::types::DataType;
+use std::sync::Arc;
+use wfit::core::TuningEnv;
+use wfit::service::{IbgStore, TenantEnv, TenantOptions};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 400;
+
+/// Deterministic key stream: thread `t`'s `i`-th request.  Streams overlap
+/// heavily across threads (the whole point: contended keys), but each is a
+/// pure function so any schedule requests the same multiset of keys.
+fn key_of(thread: usize, i: usize) -> (u64, usize) {
+    let mix = (thread * 7 + i * 13) % 96;
+    ((mix / 4) as u64, mix % 4)
+}
+
+/// Pure synthetic cost: the oracle every cache answer is checked against.
+fn synthetic_plan(fingerprint: u64, mask: usize) -> PlanCost {
+    PlanCost {
+        total: (fingerprint * 100 + mask as u64) as f64,
+        used_indexes: IndexSet::empty(),
+        description: String::new(),
+    }
+}
+
+fn config_of(idx: &[IndexId], mask: usize) -> IndexSet {
+    IndexSet::from_iter(
+        idx.iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, id)| *id),
+    )
+}
+
+fn database() -> (Arc<Database>, Vec<IndexId>) {
+    let mut b = CatalogBuilder::new();
+    b.table("t")
+        .rows(600_000.0)
+        .column("a", DataType::Integer, 90_000.0)
+        .column("b", DataType::Integer, 9_000.0)
+        .column("c", DataType::Integer, 128.0)
+        .finish();
+    let db = Database::new(b.build());
+    let t = db.catalog().table_by_name("t").unwrap();
+    let cols: Vec<simdb::ColumnId> = db.catalog().table(t).columns.clone();
+    let i1 = db.define_index_on(t, vec![cols[0]]);
+    let i2 = db.define_index_on(t, vec![cols[1]]);
+    (Arc::new(db), vec![i1, i2])
+}
+
+/// Run the standard key stream against a cache from `threads` threads,
+/// asserting every answer against the synthetic oracle.
+fn hammer(cache: &SharedWhatIfCache, idx: &[IndexId], threads: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let (f, mask) = key_of(t, i);
+                    let got =
+                        cache.get_or_compute(f, &config_of(idx, mask), || synthetic_plan(f, mask));
+                    assert_eq!(
+                        got.total.to_bits(),
+                        synthetic_plan(f, mask).total.to_bits(),
+                        "thread {t} op {i}"
+                    );
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_unbounded_cache_matches_single_threaded_replay() {
+    let (_, idx) = database();
+    let concurrent = SharedWhatIfCache::new();
+    hammer(&concurrent, &idx, THREADS);
+
+    // Single-threaded replay of the same multiset of requests.
+    let replay = SharedWhatIfCache::new();
+    for t in 0..THREADS {
+        for i in 0..OPS_PER_THREAD {
+            let (f, mask) = key_of(t, i);
+            replay.get_or_compute(f, &config_of(&idx, mask), || synthetic_plan(f, mask));
+        }
+    }
+
+    // The final cost maps agree: same resident keys (no eviction), same
+    // values bit for bit.  `get_or_compute` with a panicking closure proves
+    // residency.
+    assert_eq!(concurrent.len(), replay.len());
+    for t in 0..THREADS {
+        for i in 0..OPS_PER_THREAD {
+            let (f, mask) = key_of(t, i);
+            let config = config_of(&idx, mask);
+            let a = concurrent.get_or_compute(f, &config, || unreachable!("must be resident"));
+            let b = replay.get_or_compute(f, &config, || unreachable!("must be resident"));
+            assert_eq!(a.total.to_bits(), b.total.to_bits());
+        }
+    }
+}
+
+#[test]
+fn concurrent_cache_counters_reconcile_with_total_calls() {
+    for capacity in [0usize, 7, 24, 96] {
+        let config = if capacity == 0 {
+            CacheConfig::unbounded()
+        } else {
+            CacheConfig::bounded(capacity)
+        };
+        let (_, idx) = database();
+        let cache = SharedWhatIfCache::with_config(config);
+        hammer(&cache, &idx, THREADS);
+        let stats = cache.stats();
+        let total_calls = (THREADS * OPS_PER_THREAD) as u64;
+        assert_eq!(stats.requests, total_calls, "capacity {capacity}");
+        // Every request is exactly one hit or one miss.
+        assert_eq!(
+            stats.cache_hits + stats.optimizer_calls,
+            total_calls,
+            "capacity {capacity}"
+        );
+        // Evictions never exceed inserts, occupancy never exceeds capacity.
+        assert!(stats.evictions <= stats.optimizer_calls);
+        assert_eq!(stats.entries as usize, cache.len());
+        if capacity > 0 {
+            assert!(
+                cache.len() <= capacity,
+                "len {} > capacity {capacity}",
+                cache.len()
+            );
+            assert!(stats.evictions > 0 || capacity >= 96, "capacity {capacity}");
+        } else {
+            assert_eq!(stats.evictions, 0);
+            // 96 distinct (fingerprint, mask) keys in the stream.
+            assert_eq!(cache.len(), 96);
+        }
+    }
+}
+
+#[test]
+fn concurrent_ibg_store_reuses_identical_graphs() {
+    let (db, idx) = database();
+    let store = IbgStore::new();
+    let stmts: Vec<_> = [
+        "SELECT c FROM t WHERE a = 1",
+        "SELECT c FROM t WHERE b = 2",
+        "SELECT c FROM t WHERE a < 3",
+        "SELECT c FROM t WHERE b < 4",
+    ]
+    .iter()
+    .map(|sql| db.parse(sql).unwrap())
+    .collect();
+    let relevant = IndexSet::from_iter(idx.iter().copied());
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let db = &db;
+            let store = &store;
+            let stmts = &stmts;
+            let relevant = &relevant;
+            let idx = &idx;
+            scope.spawn(move || {
+                for i in 0..64 {
+                    let stmt = &stmts[(t + i) % stmts.len()];
+                    let (graph, _) = store.get_or_build(stmt.fingerprint, relevant, || {
+                        ibg::IndexBenefitGraph::build(relevant.clone(), |cfg| {
+                            db.whatif_cost_uncached(stmt, cfg)
+                        })
+                    });
+                    // Every handed-out graph answers exactly like the
+                    // optimizer, for every subset of the relevant set.
+                    for mask in 0..4usize {
+                        let cfg = config_of(&idx[..], mask);
+                        assert_eq!(
+                            graph.cost(&cfg).to_bits(),
+                            db.whatif_cost_uncached(stmt, &cfg).total.to_bits(),
+                            "thread {t} op {i} mask {mask}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = store.stats();
+    assert_eq!(stats.builds + stats.reuses, (THREADS * 64) as u64);
+    // Concurrent racing builds of one key are possible (and harmless), but
+    // the store never interns more than one graph per key.
+    assert_eq!(store.len(), stmts.len());
+    assert!(
+        stats.reuses >= (THREADS * 64 - THREADS * stmts.len()) as u64,
+        "at worst every thread builds every key once: {stats:?}"
+    );
+}
+
+#[test]
+fn tenant_env_fork_counters_sum_to_shared_cache_requests() {
+    let (db, idx) = database();
+    let env = TenantEnv::with_options(
+        db.clone(),
+        TenantOptions::default()
+            .with_cache_capacity(32)
+            .with_ibg_reuse(true),
+    );
+    let stmts: Vec<_> = [
+        "SELECT c FROM t WHERE a = 1",
+        "SELECT c FROM t WHERE b = 2",
+        "SELECT c FROM t WHERE a < 3",
+    ]
+    .iter()
+    .map(|sql| db.parse(sql).unwrap())
+    .collect();
+    let forks: Vec<TenantEnv> = (0..THREADS).map(|_| env.fork_counter()).collect();
+
+    std::thread::scope(|scope| {
+        for (t, fork) in forks.iter().enumerate() {
+            let db = &db;
+            let idx = &idx;
+            let stmts = &stmts;
+            scope.spawn(move || {
+                for i in 0..96 {
+                    let stmt = &stmts[(t + i) % stmts.len()];
+                    let config = config_of(&idx[..], (t + i) % 4);
+                    // Cached answers equal the uncached oracle even while
+                    // other threads force evictions.
+                    assert_eq!(
+                        fork.cost(stmt, &config).to_bits(),
+                        db.whatif_cost_uncached(stmt, &config).total.to_bits(),
+                    );
+                    if i % 16 == 0 {
+                        // IBG fetches interleave with raw cost probes.
+                        let shared = fork.ibg(stmt, IndexSet::from_iter(idx.iter().copied()));
+                        assert!(shared.graph.cost(&config) > 0.0);
+                    }
+                }
+            });
+        }
+    });
+
+    // Per-session counters attribute exactly the shared cache's traffic:
+    // every what-if request went through exactly one fork.
+    let forked: u64 = forks.iter().map(|f| f.whatif_requests()).sum();
+    let stats = env.cache_stats();
+    assert_eq!(forked, stats.requests);
+    assert_eq!(stats.cache_hits + stats.optimizer_calls, stats.requests);
+    assert!(stats.entries <= 32);
+    assert!(env.ibg_stats().builds + env.ibg_stats().reuses == (THREADS * 6) as u64);
+}
