@@ -3,10 +3,12 @@
 //! tenant served by a WFIT-500 / WFIT-IND / BC session fleet over a shared
 //! per-tenant what-if cache.
 //!
-//! Reports events/sec, per-event latency percentiles, the shared-cache
-//! hit/eviction/occupancy counters and the IBG-store reuse counters — the
-//! hot path future perf work optimizes.  Knobs, all read once here at the
-//! entry point:
+//! Reports events/sec, per-event latency percentiles (global **and**
+//! per-tenant — skewed workloads hide hot-tenant tail latency in the global
+//! percentile), the shared-cache hit/eviction/occupancy counters, the
+//! IBG-store reuse counters, and the scheduler's steal/fairness counters —
+//! the hot path future perf work optimizes.  Knobs, all read once here at
+//! the entry point:
 //!
 //! * `WFIT_TENANTS`   — tenant count (default 4)
 //! * `WFIT_PHASE_LEN` — statements per workload phase (default 60)
@@ -16,6 +18,21 @@
 //!   event-at-a-time)
 //! * `WFIT_IBG_REUSE` — share built IBGs across a tenant's sessions
 //!   (default 0)
+//! * `WFIT_WORKERS`   — worker threads (default 0 = one per tenant)
+//! * `WFIT_STEAL`     — cross-tenant work-stealing (default 0 = pinned
+//!   bins)
+//! * `WFIT_SKEW`      — hot-tenant multiplier: tenant 0 replays this many
+//!   times the statements of every other tenant (default 1 = uniform)
+//!
+//! The acceptance experiment for the work-stealing scheduler:
+//!
+//! ```sh
+//! WFIT_SKEW=8 WFIT_WORKERS=4              cargo bench --bench service_throughput
+//! WFIT_SKEW=8 WFIT_WORKERS=4 WFIT_STEAL=1 cargo bench --bench service_throughput
+//! ```
+//!
+//! shows higher events/sec with stealing (identical session state — the
+//! cost cells are bit-equal; only overhead counters and wall clock move).
 
 use bench::{phase_len_from_env, print_summaries, run_service_scenario, scenarios};
 
@@ -30,19 +47,29 @@ fn main() {
     let spec = scenarios::service_throughput(env_usize("WFIT_TENANTS", 4), phase_len_from_env())
         .with_cache_capacity(env_usize("WFIT_CACHE_CAP", 0))
         .with_batch_size(env_usize("WFIT_BATCH", 1))
-        .with_ibg_reuse(env_usize("WFIT_IBG_REUSE", 0) != 0);
+        .with_ibg_reuse(env_usize("WFIT_IBG_REUSE", 0) != 0)
+        .with_workers(env_usize("WFIT_WORKERS", 0))
+        .with_steal(env_usize("WFIT_STEAL", 0) != 0)
+        .with_skew(env_usize("WFIT_SKEW", 1));
     let tenants = spec.tenants;
-    let per_tenant = spec.statements_per_tenant();
     let cap = match spec.cache_capacity {
         0 => "unbounded".to_string(),
         c => format!("{c} entries"),
     };
     println!(
-        "service_throughput: {tenants} tenants × {per_tenant} statements, \
+        "service_throughput: {tenants} tenants × {} statements{}, \
          fleet = WFIT-500 / WFIT-IND / BC, shared what-if cache per tenant \
-         ({cap}), batch size {}, IBG reuse {}",
+         ({cap}), batch size {}, IBG reuse {}, {} workers, stealing {}",
+        spec.statements_per_tenant(),
+        if spec.skew > 1 {
+            format!(" (tenant 0 hot at {}×)", spec.skew)
+        } else {
+            String::new()
+        },
         spec.batch_size,
         if spec.ibg_reuse { "on" } else { "off" },
+        spec.resolved_workers(),
+        if spec.steal { "on" } else { "off" },
     );
     let report = run_service_scenario(&spec);
     let service = report
@@ -59,6 +86,22 @@ fn main() {
     println!("events/sec      {:>12.0}", service.events_per_sec);
     println!("latency p50     {:>10} µs", service.latency_p50_us);
     println!("latency p99     {:>10} µs", service.latency_p99_us);
+    for t in 0..tenants {
+        println!(
+            "  tenant {t:<4}  p50 {:>8} µs   p99 {:>8} µs{}",
+            service.tenant_latency_p50_us.get(t).copied().unwrap_or(0),
+            service.tenant_latency_p99_us.get(t).copied().unwrap_or(0),
+            if spec.skew > 1 && t == 0 {
+                "  (hot)"
+            } else {
+                ""
+            },
+        );
+    }
+    println!(
+        "scheduler       {:>12} session-runs, {} stolen, max queue {}, imbalance {:.3}",
+        service.session_runs, service.stolen_runs, service.max_queue_depth, service.load_imbalance
+    );
     println!(
         "what-if cache   {:>12} requests, hit rate {:.3}",
         service.cache_requests, service.cache_hit_rate

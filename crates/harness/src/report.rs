@@ -115,12 +115,34 @@ pub struct ServiceSummary {
     pub ibg_builds: u64,
     /// IBG requests answered with an already-built graph (summed).
     pub ibg_reuses: u64,
+    /// Worker threads the service was configured with.
+    pub workers: usize,
+    /// Whether cross-tenant work-stealing was enabled.
+    pub steal: bool,
+    /// Session-runs scheduled across all drain rounds (deterministic: a
+    /// pure function of the queue-depth snapshots).
+    pub session_runs: u64,
+    /// Session-runs executed away from their home worker by the steal pass
+    /// (0 with stealing disabled).
+    pub stolen_runs: u64,
+    /// Largest per-tenant queue depth observed at any drain-round start.
+    pub max_queue_depth: u64,
+    /// Worst planned per-round load imbalance
+    /// (`max_worker_load / ideal_load`; 1.0 = perfectly fair).
+    pub load_imbalance: f64,
     /// Events processed per wall-clock second (timing JSON only).
     pub events_per_sec: f64,
     /// Median per-event latency in microseconds (timing JSON only).
     pub latency_p50_us: u64,
     /// 99th-percentile per-event latency in microseconds (timing JSON only).
     pub latency_p99_us: u64,
+    /// Per-tenant median latency in microseconds, indexed by tenant id
+    /// (timing JSON only) — skewed workloads hide hot-tenant tail latency
+    /// in the global percentile.
+    pub tenant_latency_p50_us: Vec<u64>,
+    /// Per-tenant 99th-percentile latency in microseconds, indexed by
+    /// tenant id (timing JSON only).
+    pub tenant_latency_p99_us: Vec<u64>,
 }
 
 impl ServiceSummary {
@@ -137,11 +159,28 @@ impl ServiceSummary {
             ("cache_entries", Json::Num(self.cache_entries as f64)),
             ("ibg_builds", Json::Num(self.ibg_builds as f64)),
             ("ibg_reuses", Json::Num(self.ibg_reuses as f64)),
+            ("workers", Json::Num(self.workers as f64)),
+            ("steal", Json::Bool(self.steal)),
+            ("session_runs", Json::Num(self.session_runs as f64)),
+            ("stolen_runs", Json::Num(self.stolen_runs as f64)),
+            ("max_queue_depth", Json::Num(self.max_queue_depth as f64)),
+            ("load_imbalance", Json::Num(self.load_imbalance)),
         ];
         if with_timing {
+            let latencies = |samples: &[u64]| {
+                Json::Arr(samples.iter().map(|&us| Json::Num(us as f64)).collect())
+            };
             fields.push(("events_per_sec", Json::Num(self.events_per_sec)));
             fields.push(("latency_p50_us", Json::Num(self.latency_p50_us as f64)));
             fields.push(("latency_p99_us", Json::Num(self.latency_p99_us as f64)));
+            fields.push((
+                "tenant_latency_p50_us",
+                latencies(&self.tenant_latency_p50_us),
+            ));
+            fields.push((
+                "tenant_latency_p99_us",
+                latencies(&self.tenant_latency_p99_us),
+            ));
         }
         Json::obj(fields)
     }
@@ -301,20 +340,31 @@ mod tests {
             cache_entries: 64,
             ibg_builds: 12,
             ibg_reuses: 24,
+            workers: 4,
+            steal: true,
+            session_runs: 9,
+            stolen_runs: 2,
+            max_queue_depth: 34,
+            load_imbalance: 1.25,
             events_per_sec: 123.4,
             latency_p50_us: 10,
             latency_p99_us: 50,
+            tenant_latency_p50_us: vec![9, 11, 10],
+            tenant_latency_p99_us: vec![40, 60, 50],
         });
         let stable = r.to_json();
         assert!(stable.contains("cache_hit_rate"));
-        // Eviction and IBG-store counters are deterministic and belong to
-        // the golden rendering.
+        // Eviction, IBG-store and scheduler counters are deterministic and
+        // belong to the golden rendering.
         assert!(stable.contains("cache_evictions") && stable.contains("ibg_reuses"));
+        assert!(stable.contains("stolen_runs") && stable.contains("load_imbalance"));
+        assert!(stable.contains("\"steal\": true"));
         // Wall-clock service metrics never reach the golden-file rendering.
         assert!(!stable.contains("events_per_sec"));
         assert!(!stable.contains("latency_p99_us"));
         let timing = r.to_json_with_timing();
         assert!(timing.contains("events_per_sec") && timing.contains("latency_p99_us"));
+        assert!(timing.contains("tenant_latency_p99_us"));
         let diffs = r.diff_against_golden(&stable, 1e-9).unwrap();
         assert!(diffs.is_empty(), "{diffs:?}");
     }

@@ -7,7 +7,7 @@
 //! `WFIT_PHASE_LEN` environment variable is the job of the bench entry
 //! points (`crates/bench`), never of the harness.
 
-use crate::service_run::ServiceScenarioSpec;
+use crate::service_run::{ServiceScenarioSpec, ServiceSessionSpec};
 use crate::spec::{AdvisorSpec, CellSpec, FeedbackEvent, FeedbackSpec, ScenarioSpec};
 use wfit_core::config::WfitConfig;
 
@@ -244,6 +244,42 @@ pub fn service_evict_mini() -> ServiceScenarioSpec {
         .with_ibg_reuse(true)
 }
 
+/// Hot-tenant event multiplier of the skewed service scenarios: tenant 0
+/// replays 8× the statements of every other tenant, the shape that
+/// serializes a pinned-bin scheduler behind one worker.
+pub const SKEW_FACTOR: usize = 8;
+
+/// The skewed service scenario: one hot tenant ([`SKEW_FACTOR`]× events),
+/// `tenants - 1` cold ones, drained by `workers` workers with work-stealing
+/// on.  The cross-tenant scheduling hot path: without stealing the hot
+/// tenant's backlog serializes behind one worker while the others idle;
+/// with it, idle workers take the hot bin's session-runs.
+pub fn service_skewed(tenants: usize, statements_per_phase: usize) -> ServiceScenarioSpec {
+    ServiceScenarioSpec::new("service-skewed", tenants, statements_per_phase)
+        .with_feedback_every(16)
+        .with_skew(SKEW_FACTOR)
+        .with_steal(true)
+}
+
+/// Miniature skewed scenario for the golden suite: three tenants (one hot at
+/// [`SKEW_FACTOR`]×), a two-session fleet, four workers, stealing on.  The
+/// shared cache is disabled: concurrently-executing stolen session-runs
+/// would race on the hit/miss split, and the golden's purpose is to pin the
+/// metrics that *are* deterministic under stealing — every cost cell, the
+/// steal counters and the fairness/queue-depth numbers.
+pub fn service_skew_mini() -> ServiceScenarioSpec {
+    ServiceScenarioSpec::new("service-skew-mini", 3, 2)
+        .with_sessions(vec![
+            ServiceSessionSpec::WfitFixed { state_cnt: 500 },
+            ServiceSessionSpec::Bc,
+        ])
+        .with_feedback_every(8)
+        .with_shared_cache(false)
+        .with_skew(SKEW_FACTOR)
+        .with_workers(4)
+        .with_steal(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,5 +338,28 @@ mod tests {
         // Tenant seeds are decorrelated but reproducible.
         assert_ne!(big.tenant_seed(0), big.tenant_seed(1));
         assert_eq!(big.tenant_seed(5), service_throughput(8, 60).tenant_seed(5));
+    }
+
+    #[test]
+    fn skewed_scenarios_make_tenant_zero_hot() {
+        let skewed = service_skewed(4, 10);
+        assert_eq!(skewed.skew, SKEW_FACTOR);
+        assert!(skewed.steal);
+        assert_eq!(skewed.statements_for_tenant(0), 8 * 10 * SKEW_FACTOR);
+        assert_eq!(skewed.statements_for_tenant(1), 8 * 10);
+        assert_eq!(
+            skewed.total_statements(),
+            8 * 10 * (SKEW_FACTOR + 3),
+            "one hot + three cold tenants"
+        );
+        let mini = service_skew_mini();
+        assert_eq!(mini.tenants, 3);
+        assert_eq!(mini.sessions.len(), 2);
+        assert!(mini.steal && !mini.shared_cache && !mini.ibg_reuse);
+        assert_eq!(mini.resolved_workers(), 4);
+        // The default scenarios stay unskewed and pinned.
+        assert_eq!(service_mini().skew, 1);
+        assert!(!service_mini().steal);
+        assert_eq!(service_mini().resolved_workers(), 3);
     }
 }

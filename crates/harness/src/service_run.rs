@@ -10,11 +10,16 @@
 //! (tenant × session) and a [`ServiceSummary`] carrying the service-level
 //! metrics (event counts, shared-cache hit rate, throughput, latency).
 //!
-//! Determinism contract: per-tenant event order is fixed by the spec, each
-//! tenant is drained sequentially by one worker, and tenants share no
-//! mutable state — so every metric except wall-clock throughput/latency is
-//! bit-identical across runs at the same seed, which is what lets the
-//! multi-tenant scenario live in the golden regression suite.
+//! Determinism contract: per-tenant event order is fixed by the spec,
+//! every session replays its tenant's events in that order (the
+//! work-stealing scheduler moves whole session-runs, never splits one),
+//! and the steal plan is a pure function of the queue-depth snapshot — so
+//! every cost-derived metric and every scheduler counter is bit-identical
+//! across runs at the same seed, which is what lets the multi-tenant
+//! scenarios (including the skewed, stealing one) live in the golden
+//! regression suite.  With stealing enabled and a shared cache, only the
+//! cache's hit/miss *split* is timing-dependent; the skewed golden
+//! scenario therefore runs the uncached control arm.
 
 use std::sync::Arc;
 
@@ -88,6 +93,22 @@ pub struct ServiceScenarioSpec {
     /// through a per-tenant `IbgStore`.  Honored for the uncached control
     /// arm too (graph dedup works with or without a cost cache underneath).
     pub ibg_reuse: bool,
+    /// Worker threads draining the service; 0 (the default) uses one worker
+    /// per tenant — the historical behaviour.
+    pub workers: usize,
+    /// Enable the cross-tenant work-stealing scheduler: an idle worker
+    /// takes whole session-runs from the most-loaded bin.  Session state
+    /// stays bit-identical; steal counters are a pure function of queue
+    /// depths.  With a shared cache the hit/miss *split* becomes
+    /// timing-dependent, so golden scenarios that enable stealing also
+    /// disable the shared cache (see
+    /// [`crate::scenarios::service_skew_mini`]).
+    pub steal: bool,
+    /// Event-skew multiplier for tenant 0: the "hot" tenant replays
+    /// `skew × statements_per_phase` statements per phase while every other
+    /// tenant replays `statements_per_phase`.  1 (the default) keeps all
+    /// tenants equal.
+    pub skew: usize,
 }
 
 impl ServiceScenarioSpec {
@@ -110,6 +131,9 @@ impl ServiceScenarioSpec {
             cache_capacity: 0,
             batch_size: 1,
             ibg_reuse: false,
+            workers: 0,
+            steal: false,
+            skew: 1,
         }
     }
 
@@ -156,6 +180,25 @@ impl ServiceScenarioSpec {
         self
     }
 
+    /// Drain with `workers` worker threads (0 = one per tenant).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enable or disable the work-stealing scheduler.
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Make tenant 0 "hot": it replays `skew ×` the statements of every
+    /// other tenant (values < 1 are clamped to 1).
+    pub fn with_skew(mut self, skew: usize) -> Self {
+        self.skew = skew.max(1);
+        self
+    }
+
     /// The seed tenant `t` generates its workload from (a splitmix64 step
     /// over the base seed, so tenant workloads are decorrelated but fully
     /// reproducible).
@@ -168,9 +211,41 @@ impl ServiceScenarioSpec {
         z ^ (z >> 31)
     }
 
-    /// Statements per tenant.
+    /// Statements per phase for one tenant (tenant 0 carries the skew
+    /// multiplier).
+    pub fn statements_per_phase_for(&self, tenant: usize) -> usize {
+        if tenant == 0 {
+            self.statements_per_phase * self.skew.max(1)
+        } else {
+            self.statements_per_phase
+        }
+    }
+
+    /// Statements one tenant replays over the whole run.
+    pub fn statements_for_tenant(&self, tenant: usize) -> usize {
+        self.statements_per_phase_for(tenant) * workload::default_phases().len()
+    }
+
+    /// Statements per unskewed tenant.
     pub fn statements_per_tenant(&self) -> usize {
         self.statements_per_phase * workload::default_phases().len()
+    }
+
+    /// Statements across all tenants (skew included).
+    pub fn total_statements(&self) -> usize {
+        (0..self.tenants)
+            .map(|t| self.statements_for_tenant(t))
+            .sum()
+    }
+
+    /// The worker count the service is built with (0 resolves to one worker
+    /// per tenant).
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers == 0 {
+            self.tenants
+        } else {
+            self.workers
+        }
     }
 }
 
@@ -187,7 +262,7 @@ struct PreparedTenant {
 impl PreparedTenant {
     fn prepare(spec: &ServiceScenarioSpec, tenant: usize) -> Self {
         let bench = Benchmark::generate(BenchmarkSpec {
-            statements_per_phase: spec.statements_per_phase,
+            statements_per_phase: spec.statements_per_phase_for(tenant),
             seed: spec.tenant_seed(tenant),
             phases: workload::default_phases(),
         });
@@ -307,7 +382,9 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
     // Assemble the service: one tenant + fleet per prepared workload, all
     // backed by the prepared database instances (whose registries hold the
     // candidate ids the offline selections refer to).
-    let mut svc = TuningService::with_workers(spec.tenants).with_batch_size(spec.batch_size);
+    let mut svc = TuningService::with_workers(spec.resolved_workers())
+        .with_batch_size(spec.batch_size)
+        .with_steal(spec.steal);
     let mut tenant_ids = Vec::with_capacity(spec.tenants);
     for (t, prep) in prepared.iter().enumerate() {
         let options = if spec.shared_cache {
@@ -315,7 +392,7 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
         } else {
             TenantOptions {
                 cache: None,
-                ibg_reuse: false,
+                ..TenantOptions::default()
             }
         };
         let id = svc.add_tenant_with(
@@ -330,10 +407,19 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
     }
 
     // Interleave the tenants' workloads round-robin, mimicking concurrent
-    // arrival, with scheduled votes woven in per tenant.
-    let per_tenant = prepared[0].statements.len();
-    for pos in 0..per_tenant {
+    // arrival, with scheduled votes woven in per tenant.  With skew the hot
+    // tenant's stream is longer: exhausted tenants simply drop out of the
+    // rotation.
+    let max_per_tenant = prepared
+        .iter()
+        .map(|p| p.statements.len())
+        .max()
+        .unwrap_or(0);
+    for pos in 0..max_per_tenant {
         for (t, prep) in prepared.iter().enumerate() {
+            if pos >= prep.statements.len() {
+                continue;
+            }
             svc.submit(Event::query(
                 tenant_ids[t],
                 Arc::new(prep.statements[pos].clone()),
@@ -353,13 +439,21 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
         }
     }
 
-    let query_events = (per_tenant * spec.tenants) as u64;
+    let query_events: u64 = prepared.iter().map(|p| p.statements.len() as u64).sum();
     let total_events = svc.pending() as u64;
     let batch = svc.process_pending();
     assert_eq!(batch.events, total_events);
 
     // Cells: one per (tenant × session), ratios against the tenant's OPT.
-    let checkpoints = crate::runner::checkpoint_positions(per_tenant);
+    // Checkpoints are shared across cells, so they stop at the shortest
+    // tenant stream; each cell's final `opt_ratio` still covers its
+    // tenant's whole stream.
+    let min_per_tenant = prepared
+        .iter()
+        .map(|p| p.statements.len())
+        .min()
+        .unwrap_or(0);
+    let checkpoints = crate::runner::checkpoint_positions(min_per_tenant);
     let mut cells = Vec::with_capacity(spec.tenants * spec.sessions.len());
     for (t, prep) in prepared.iter().enumerate() {
         for (s, session_spec) in spec.sessions.iter().enumerate() {
@@ -381,7 +475,7 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
                 query_cost: stats.query_cost,
                 transition_cost: stats.transition_cost,
                 transitions: stats.transitions as usize,
-                opt_ratio: ratio_at(per_tenant),
+                opt_ratio: ratio_at(prep.statements.len()),
                 ratio_series: checkpoints.iter().map(|&n| (n, ratio_at(n))).collect(),
                 whatif_calls: svc.session_whatif_requests(id),
                 repartitions: 0,
@@ -395,10 +489,17 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
 
     let cache = svc.aggregate_cache_stats();
     let ibg = svc.aggregate_ibg_stats();
+    let sched = svc.sched_stats();
+    let tenant_percentile = |p: f64| -> Vec<u64> {
+        tenant_ids
+            .iter()
+            .map(|&id| batch.tenant_latency_percentile_us(id, p))
+            .collect()
+    };
     RunReport {
         scenario: spec.name.clone(),
         seed: spec.seed,
-        statements: per_tenant * spec.tenants,
+        statements: query_events as usize,
         candidates: prepared
             .iter()
             .map(|p| p.default_selection().candidates.len())
@@ -422,9 +523,17 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
             cache_entries: cache.entries,
             ibg_builds: ibg.builds,
             ibg_reuses: ibg.reuses,
+            workers: spec.resolved_workers(),
+            steal: spec.steal,
+            session_runs: sched.session_runs,
+            stolen_runs: sched.stolen_runs,
+            max_queue_depth: sched.max_queue_depth,
+            load_imbalance: sched.max_imbalance,
             events_per_sec: batch.events_per_sec(),
             latency_p50_us: batch.p50_us(),
             latency_p99_us: batch.p99_us(),
+            tenant_latency_p50_us: tenant_percentile(0.50),
+            tenant_latency_p99_us: tenant_percentile(0.99),
         }),
     }
 }

@@ -1,14 +1,23 @@
-//! The multi-tenant tuning service: tenant registry, event queues, and the
-//! scoped worker pool that drains them.
+//! The multi-tenant tuning service: the tenant/session registry and the
+//! wiring of [`crate::ingress`] → [`crate::scheduler`] → worker execution.
+//!
+//! The daemon is deliberately thin.  Event queuing lives in the
+//! [`Ingress`] (sharded, interior-mutable, accepts [`TuningService::submit`]
+//! concurrently with a running drain); round planning lives in
+//! [`crate::scheduler::plan`] (deterministic work-stealing over
+//! session-runs); this module owns the registry, executes a plan on a
+//! `std::thread::scope` worker pool, and keeps the books
+//! ([`BatchReport`], [`SchedStats`], per-tenant counters).
 
 use crate::env::{TenantEnv, TenantOptions};
 use crate::event::{Event, SessionId, TenantId};
 use crate::ibg_store::IbgStats;
+use crate::ingress::{Ingress, IngressStats, ServiceHandle};
+use crate::scheduler::{self, Placement, SchedStats, SchedulerConfig, TenantLoad};
 use simdb::database::Database;
 use simdb::index::IndexSet;
 use simdb::query::Statement;
 use simdb::whatif::WhatIfStats;
-use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 use wfit_core::evaluator::AcceptancePolicy;
@@ -18,7 +27,7 @@ use wfit_core::{IndexAdvisor, SessionStats, TuningSession};
 /// boxed advisor, so heterogeneous fleets (WFIT, BC, …) live in one registry.
 pub type ServiceSession = TuningSession<TenantEnv, Box<dyn IndexAdvisor + Send>>;
 
-struct SessionSlot {
+pub(crate) struct SessionSlot {
     label: String,
     /// The per-session environment fork; shares the tenant cache but owns
     /// its own what-if request counter.
@@ -30,91 +39,116 @@ struct Tenant {
     name: String,
     env: TenantEnv,
     slots: Vec<SessionSlot>,
-    queue: VecDeque<Event>,
     processed: u64,
 }
 
-impl Tenant {
-    /// Drain this tenant's queue in submission order, fanning each event out
-    /// to every session.  Returns the per-event latencies in microseconds.
-    ///
-    /// With `batch_size > 1`, runs of consecutive [`Event::Query`]s are
-    /// coalesced (up to `batch_size` per batch; a [`Event::Vote`] always
-    /// closes the current batch) and each batch is processed
-    /// **session-major**: the first session analyzes the whole batch —
-    /// warming the tenant's shared what-if cache and IBG store for every
-    /// statement in it — before the next session starts, so the later
-    /// sessions run against one warmed cache generation instead of
-    /// alternating cold statements.  Per-session event order is unchanged
-    /// (sessions are mutually independent and each still sees the batch's
-    /// statements in submission order, with votes at the same boundaries),
-    /// so batching can never change a recommendation, a cost, or any other
-    /// deterministic metric — only wall-clock numbers and, when the cache is
-    /// bounded, the hit/eviction split, which is itself a pure function of
-    /// the per-tenant event order and batch size.
-    fn drain(&mut self, batch_size: usize) -> Vec<u64> {
-        let batch_size = batch_size.max(1);
-        let mut latencies = Vec::with_capacity(self.queue.len());
-        // Cap the pre-allocation by the actual queue length so an absurd
-        // batch-size knob cannot over-allocate (or overflow) up front.
-        let mut batch: Vec<Arc<Statement>> = Vec::with_capacity(batch_size.min(self.queue.len()));
-        while let Some(event) = self.queue.pop_front() {
-            match event {
-                Event::Query { statement, .. } => {
-                    batch.push(statement);
-                    // Keep coalescing while the next event extends the batch.
-                    let extends = batch.len() < batch_size
-                        && matches!(self.queue.front(), Some(Event::Query { .. }));
-                    if !extends {
-                        self.flush_batch(&mut batch, &mut latencies);
-                    }
-                }
-                Event::Vote {
-                    approve, reject, ..
-                } => {
-                    debug_assert!(batch.is_empty(), "a vote closes the preceding batch");
-                    let start = Instant::now();
-                    for slot in &mut self.slots {
-                        slot.session.vote(&approve, &reject);
-                    }
-                    self.processed += 1;
-                    latencies.push(start.elapsed().as_micros() as u64);
+/// Replay one event run against every session of a tenant, **grouped**:
+/// runs of up to `batch_size` consecutive [`Event::Query`]s are coalesced (a
+/// [`Event::Vote`] always closes the current batch) and each batch is
+/// processed session-major — the first session analyzes the whole batch,
+/// warming the tenant's shared what-if cache and IBG store, before the next
+/// session starts.  Per-session event order is unchanged (sessions are
+/// mutually independent and each still sees the batch's statements in
+/// submission order, with votes at the same boundaries), so grouping can
+/// never change a recommendation, a cost, or any other deterministic metric
+/// — only wall-clock numbers and, when the cache is bounded, the
+/// hit/eviction split, which is itself a pure function of the per-tenant
+/// event order and batch size.  This is the execution path of every
+/// [`Placement::Whole`] tenant — identical to the historical sequential
+/// drain.  Returns the per-event latencies in microseconds.
+fn drain_grouped(
+    env: &TenantEnv,
+    slots: &mut [SessionSlot],
+    events: &[Event],
+    batch_size: usize,
+) -> Vec<u64> {
+    let batch_size = batch_size.max(1);
+    let mut latencies = Vec::with_capacity(events.len());
+    // Cap the pre-allocation by the actual run length so an absurd
+    // batch-size knob cannot over-allocate (or overflow) up front.
+    let mut batch: Vec<Arc<Statement>> = Vec::with_capacity(batch_size.min(events.len()));
+    let mut iter = events.iter().peekable();
+    while let Some(event) = iter.next() {
+        match event {
+            Event::Query { statement, .. } => {
+                batch.push(statement.clone());
+                // Keep coalescing while the next event extends the batch.
+                let extends =
+                    batch.len() < batch_size && matches!(iter.peek(), Some(Event::Query { .. }));
+                if !extends {
+                    flush_batch(env, slots, &mut batch, &mut latencies);
                 }
             }
-        }
-        latencies
-    }
-
-    /// Process one coalesced query batch session-major and retire the IBG
-    /// store's previous generation.  Latency is measured per batch and
-    /// attributed evenly to its events (wall-clock only — never part of the
-    /// deterministic metrics).
-    fn flush_batch(&mut self, batch: &mut Vec<Arc<Statement>>, latencies: &mut Vec<u64>) {
-        if batch.is_empty() {
-            return;
-        }
-        let start = Instant::now();
-        for slot in &mut self.slots {
-            for statement in batch.iter() {
-                slot.session.submit_query(statement);
+            Event::Vote {
+                approve, reject, ..
+            } => {
+                debug_assert!(batch.is_empty(), "a vote closes the preceding batch");
+                let start = Instant::now();
+                for slot in slots.iter_mut() {
+                    slot.session.vote(approve, reject);
+                }
+                latencies.push(start.elapsed().as_micros() as u64);
             }
         }
-        self.env.advance_ibg_generation();
-        let per_event = start.elapsed().as_micros() as u64 / batch.len() as u64;
-        for _ in batch.iter() {
-            self.processed += 1;
-            latencies.push(per_event);
-        }
-        batch.clear();
     }
+    latencies
 }
 
-/// Throughput and latency metrics of one [`TuningService::process_pending`]
-/// batch.
+/// Process one coalesced query batch session-major and retire the IBG
+/// store's previous generation.  Latency is measured per batch and
+/// attributed evenly to its events (wall-clock only — never part of the
+/// deterministic metrics).
+fn flush_batch(
+    env: &TenantEnv,
+    slots: &mut [SessionSlot],
+    batch: &mut Vec<Arc<Statement>>,
+    latencies: &mut Vec<u64>,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let start = Instant::now();
+    for slot in slots.iter_mut() {
+        for statement in batch.iter() {
+            slot.session.submit_query(statement);
+        }
+    }
+    env.advance_ibg_generation();
+    let per_event = start.elapsed().as_micros() as u64 / batch.len() as u64;
+    latencies.extend(std::iter::repeat_n(per_event, batch.len()));
+    batch.clear();
+}
+
+/// Replay one event run against a **single** session — the execution path
+/// of a stolen session-run ([`Placement::Split`]).  The session sees its
+/// events in exactly the submission order, so its state is bit-identical to
+/// what the grouped drain produces; only cache/IBG warming order (overhead
+/// counters, wall clock) differs.  Returns per-event latencies in
+/// microseconds.
+fn drain_session(slot: &mut SessionSlot, events: &[Event]) -> Vec<u64> {
+    let mut latencies = Vec::with_capacity(events.len());
+    for event in events {
+        let start = Instant::now();
+        match event {
+            Event::Query { statement, .. } => {
+                slot.session.submit_query(statement);
+            }
+            Event::Vote {
+                approve, reject, ..
+            } => slot.session.vote(approve, reject),
+        }
+        latencies.push(start.elapsed().as_micros() as u64);
+    }
+    latencies
+}
+
+/// Throughput and latency metrics of one [`TuningService::poll`] round (or
+/// of a whole [`TuningService::process_pending`] drain, which absorbs its
+/// rounds' reports).
 ///
 /// All fields are wall-clock derived and therefore **not** deterministic
-/// across runs; deterministic state (session accounting, cache counters)
-/// lives on the service itself.
+/// across runs; deterministic state (session accounting, cache and
+/// scheduler counters) lives on the service itself.
 #[derive(Debug, Clone, Default)]
 pub struct BatchReport {
     /// Number of events processed.
@@ -122,7 +156,13 @@ pub struct BatchReport {
     /// Wall-clock duration of the batch in seconds.
     pub wall_seconds: f64,
     /// Per-event processing latencies in microseconds, sorted ascending.
+    /// With stealing enabled a split tenant contributes one latency per
+    /// (session-run × event) instead of one per event.
     pub latencies_us: Vec<u64>,
+    /// Per-tenant latency samples (sorted ascending), for tenants that
+    /// processed at least one event.  Skewed workloads hide hot-tenant tail
+    /// latency in the global percentile; these break it out.
+    pub tenant_latencies_us: Vec<(TenantId, Vec<u64>)>,
 }
 
 impl BatchReport {
@@ -135,13 +175,17 @@ impl BatchReport {
         }
     }
 
-    /// Latency percentile in microseconds (`p` in `[0, 1]`; nearest-rank).
-    pub fn latency_percentile_us(&self, p: f64) -> u64 {
-        if self.latencies_us.is_empty() {
+    fn percentile(samples: &[u64], p: f64) -> u64 {
+        if samples.is_empty() {
             return 0;
         }
-        let rank = (p.clamp(0.0, 1.0) * (self.latencies_us.len() - 1) as f64).round() as usize;
-        self.latencies_us[rank.min(self.latencies_us.len() - 1)]
+        let rank = (p.clamp(0.0, 1.0) * (samples.len() - 1) as f64).round() as usize;
+        samples[rank.min(samples.len() - 1)]
+    }
+
+    /// Latency percentile in microseconds (`p` in `[0, 1]`; nearest-rank).
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        Self::percentile(&self.latencies_us, p)
     }
 
     /// Median per-event latency in microseconds.
@@ -153,26 +197,113 @@ impl BatchReport {
     pub fn p99_us(&self) -> u64 {
         self.latency_percentile_us(0.99)
     }
+
+    /// One tenant's latency percentile in microseconds (0 when the tenant
+    /// processed nothing in this batch).
+    pub fn tenant_latency_percentile_us(&self, tenant: TenantId, p: f64) -> u64 {
+        self.tenant_latencies_us
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, samples)| Self::percentile(samples, p))
+            .unwrap_or(0)
+    }
+
+    /// One tenant's median per-event latency in microseconds.
+    pub fn tenant_p50_us(&self, tenant: TenantId) -> u64 {
+        self.tenant_latency_percentile_us(tenant, 0.50)
+    }
+
+    /// One tenant's 99th-percentile per-event latency in microseconds.
+    pub fn tenant_p99_us(&self, tenant: TenantId) -> u64 {
+        self.tenant_latency_percentile_us(tenant, 0.99)
+    }
+
+    /// Splice `incoming` (sorted) into `sorted` (sorted), keeping the result
+    /// sorted in O(len) instead of re-sorting the accumulated vector —
+    /// [`BatchReport::absorb`] runs once per poll round on the live
+    /// ingestion path.
+    fn merge_sorted(sorted: &mut Vec<u64>, incoming: Vec<u64>) {
+        if sorted.is_empty() {
+            *sorted = incoming;
+            return;
+        }
+        if incoming.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(sorted.len() + incoming.len());
+        let (mut a, mut b) = (
+            sorted.iter().copied().peekable(),
+            incoming.into_iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&x), Some(&y)) if x <= y => {
+                    merged.push(x);
+                    a.next();
+                }
+                (Some(_), Some(_)) => {
+                    merged.push(b.next().unwrap());
+                }
+                (Some(_), None) => {
+                    merged.extend(a);
+                    break;
+                }
+                (None, _) => {
+                    merged.extend(b);
+                    break;
+                }
+            }
+        }
+        *sorted = merged;
+    }
+
+    /// Fold another report into this one (events and wall time add, latency
+    /// samples merge, staying sorted).  [`TuningService::process_pending`]
+    /// uses this to absorb its poll rounds.
+    pub fn absorb(&mut self, other: BatchReport) {
+        self.events += other.events;
+        self.wall_seconds += other.wall_seconds;
+        Self::merge_sorted(&mut self.latencies_us, other.latencies_us);
+        for (tenant, samples) in other.tenant_latencies_us {
+            match self
+                .tenant_latencies_us
+                .iter_mut()
+                .find(|(t, _)| *t == tenant)
+            {
+                Some((_, existing)) => Self::merge_sorted(existing, samples),
+                None => self.tenant_latencies_us.push((tenant, samples)),
+            }
+        }
+        self.tenant_latencies_us.sort_by_key(|(t, _)| *t);
+    }
 }
 
 /// A long-running, multi-tenant online tuning service.
 ///
 /// The service owns a registry of tenants — each a database handle, a shared
-/// what-if cost cache, and a fleet of tuning sessions — plus one pending
-/// event queue per tenant.  [`TuningService::submit`] shards events across
-/// those queues by tenant id; [`TuningService::process_pending`] drains all
-/// queues with a `std::thread::scope` worker pool.
+/// what-if cost cache, and a fleet of tuning sessions — plus a sharded
+/// [`Ingress`] of pending events.  [`TuningService::submit`] (or a cloned
+/// [`TuningService::handle`], from any thread, **while a drain is running**)
+/// shards events across per-tenant FIFO queues; [`TuningService::poll`]
+/// snapshots the queues and executes one scheduling round;
+/// [`TuningService::process_pending`] loops rounds until the ingress is
+/// empty.
 ///
-/// Two invariants make service runs reproducible:
+/// Determinism contract (see `ARCHITECTURE.md` for the invariants):
 ///
-/// * events of one tenant are processed **in submission order** by a single
-///   worker, so every session's state evolution is deterministic;
-/// * tenants never share mutable state — parallelism across tenants cannot
-///   change any per-tenant result, only the wall-clock numbers.
+/// * events of one tenant are processed **in submission order** by every
+///   session, so session state evolution is deterministic;
+/// * the work-stealing plan is a pure function of the queue-depth snapshot,
+///   so scheduler counters are deterministic too;
+/// * with stealing disabled each tenant drains sequentially on one worker —
+///   the historical behaviour, bit-identical including cache counters.
 pub struct TuningService {
     tenants: Vec<Tenant>,
+    ingress: Arc<Ingress>,
     max_workers: usize,
     batch_size: usize,
+    steal: bool,
+    sched: SchedStats,
 }
 
 impl Default for TuningService {
@@ -190,27 +321,49 @@ impl TuningService {
         Self::with_workers(workers)
     }
 
-    /// An empty service draining at most `max_workers` tenant queues
-    /// concurrently.
+    /// An empty service draining with at most `max_workers` worker threads.
     pub fn with_workers(max_workers: usize) -> Self {
         Self {
             tenants: Vec::new(),
+            ingress: Arc::new(Ingress::new()),
             max_workers: max_workers.max(1),
             batch_size: 1,
+            steal: false,
+            sched: SchedStats::default(),
         }
     }
 
     /// Coalesce up to `batch_size` consecutive queued queries of a tenant
-    /// into one session-major batch (see [`TuningService::process_pending`]).
-    /// The default of 1 reproduces event-at-a-time draining exactly.
+    /// into one session-major batch (see [`TuningService::poll`]).  The
+    /// default of 1 reproduces event-at-a-time draining exactly.
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Enable cross-tenant work-stealing: a worker that exhausts its bin
+    /// takes whole session-runs from the most-loaded bin (see
+    /// [`crate::scheduler`]).  Off by default — the pinned-bin scheduler is
+    /// the historical behaviour and keeps per-tenant cache counters
+    /// deterministic.
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
         self
     }
 
     /// The configured query-batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
+    }
+
+    /// Whether work-stealing is enabled.
+    pub fn steal(&self) -> bool {
+        self.steal
+    }
+
+    /// The configured maximum worker count.
+    pub fn max_workers(&self) -> usize {
+        self.max_workers
     }
 
     /// Register a tenant with a shared what-if cache over its database.
@@ -235,12 +388,13 @@ impl TuningService {
     }
 
     fn register(&mut self, name: impl Into<String>, env: TenantEnv) -> TenantId {
+        let shard = self.ingress.add_shard();
+        debug_assert_eq!(shard, self.tenants.len(), "shards mirror the registry");
         let id = TenantId(self.tenants.len() as u32);
         self.tenants.push(Tenant {
             name: name.into(),
             env,
             slots: Vec::new(),
-            queue: VecDeque::new(),
             processed: 0,
         });
         id
@@ -285,61 +439,141 @@ impl TuningService {
     }
 
     /// Queue an event for its tenant.  Events are processed by the next
-    /// [`TuningService::process_pending`] call, in submission order per
-    /// tenant.
-    pub fn submit(&mut self, event: Event) {
-        self.tenant_mut(event.tenant()).queue.push_back(event);
+    /// [`TuningService::poll`] round, in submission order per tenant.
+    /// Takes `&self`: submission never blocks on (or is blocked by) a
+    /// running drain — use [`TuningService::handle`] to submit from other
+    /// threads.
+    pub fn submit(&self, event: Event) {
+        self.ingress.submit(event);
+    }
+
+    /// A cloneable, `Send + Sync` submission handle.  Handles stay valid
+    /// (and non-blocking) while [`TuningService::poll`] /
+    /// [`TuningService::process_pending`] run on another thread — the
+    /// async-ingestion path.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle::new(self.ingress.clone())
     }
 
     /// Number of queued, not-yet-processed events across all tenants.
     pub fn pending(&self) -> usize {
-        self.tenants.iter().map(|t| t.queue.len()).sum()
+        self.ingress.pending()
     }
 
-    /// Drain every tenant queue, processing tenants in parallel with a
-    /// `std::thread::scope` worker pool (at most `max_workers` threads; each
-    /// tenant's events stay in order on one worker).
-    ///
-    /// Tenants are balanced across workers by **pending event count**
-    /// (longest-queue-first onto the lightest bin), so a skewed event
-    /// distribution does not serialize behind one thread.  Assignment only
-    /// affects wall-clock numbers, never per-tenant results.
-    pub fn process_pending(&mut self) -> BatchReport {
-        let total: u64 = self.tenants.iter().map(|t| t.queue.len() as u64).sum();
+    /// Ingestion counters (events submitted / still pending).
+    pub fn ingress_stats(&self) -> IngressStats {
+        self.ingress.stats()
+    }
+
+    /// Cumulative scheduler counters (rounds, session-runs, steals, queue
+    /// depths, load imbalance) — deterministic whenever submission order is.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched
+    }
+
+    /// Execute **one** scheduling round: snapshot every tenant queue, plan
+    /// the round ([`crate::scheduler::plan`] — pinned bins, or
+    /// work-stealing with [`TuningService::with_steal`]), execute the plan
+    /// on a `std::thread::scope` worker pool, and return the round's
+    /// wall-clock report.  Events submitted while the round runs (through
+    /// [`TuningService::handle`]) are left for the next round.
+    pub fn poll(&mut self) -> BatchReport {
+        let runs = self.ingress.drain_all();
+        let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
         if total == 0 {
             return BatchReport::default();
         }
         let start = Instant::now();
-        let mut busy: Vec<&mut Tenant> = self
-            .tenants
-            .iter_mut()
-            .filter(|t| !t.queue.is_empty())
+
+        let loads: Vec<TenantLoad> = runs
+            .iter()
+            .enumerate()
+            .filter(|(_, run)| !run.is_empty())
+            .map(|(t, run)| TenantLoad {
+                tenant: t,
+                depth: run.len(),
+                sessions: self.tenants[t].slots.len(),
+            })
             .collect();
-        busy.sort_by_key(|t| std::cmp::Reverse(t.queue.len()));
-        let workers = self.max_workers.min(busy.len()).max(1);
-        let mut bins: Vec<Vec<&mut Tenant>> = (0..workers).map(|_| Vec::new()).collect();
-        let mut loads = vec![0usize; workers];
-        for tenant in busy {
-            let lightest = loads
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &load)| load)
-                .map(|(i, _)| i)
-                .unwrap_or(0);
-            loads[lightest] += tenant.queue.len();
-            bins[lightest].push(tenant);
+        let max_depth = loads.iter().map(|l| l.depth as u64).max().unwrap_or(0);
+        let plan = scheduler::plan(
+            &loads,
+            &SchedulerConfig {
+                workers: self.max_workers,
+                steal: self.steal,
+            },
+        );
+        self.sched.absorb_round(&plan, max_depth);
+
+        // Event runs are shared (not copied) between the session-runs of a
+        // split tenant.
+        let events: Vec<Arc<Vec<Event>>> = runs.into_iter().map(Arc::new).collect();
+        let mut placement_of: Vec<Option<&Placement>> = vec![None; self.tenants.len()];
+        for (t, p) in &plan.placements {
+            placement_of[*t] = Some(p);
         }
+
+        /// One unit of a worker's bin: a whole tenant (grouped drain) or a
+        /// single stolen session-run.
+        enum Task<'s> {
+            Whole {
+                tenant: usize,
+                env: TenantEnv,
+                slots: &'s mut [SessionSlot],
+                events: Arc<Vec<Event>>,
+            },
+            Run {
+                tenant: usize,
+                slot: &'s mut SessionSlot,
+                events: Arc<Vec<Event>>,
+            },
+        }
+
+        let mut bins: Vec<Vec<Task>> = (0..plan.workers_used).map(|_| Vec::new()).collect();
+        let mut split_tenants: Vec<usize> = Vec::new();
+        for (t, tenant) in self.tenants.iter_mut().enumerate() {
+            match placement_of[t] {
+                None => {}
+                Some(Placement::Whole { worker }) => bins[*worker].push(Task::Whole {
+                    tenant: t,
+                    env: tenant.env.clone(),
+                    slots: &mut tenant.slots,
+                    events: events[t].clone(),
+                }),
+                Some(Placement::Split { workers }) => {
+                    split_tenants.push(t);
+                    for (s, slot) in tenant.slots.iter_mut().enumerate() {
+                        bins[workers[s]].push(Task::Run {
+                            tenant: t,
+                            slot,
+                            events: events[t].clone(),
+                        });
+                    }
+                }
+            }
+        }
+
         let batch_size = self.batch_size;
-        let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let results: Vec<(usize, Vec<u64>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = bins
                 .into_iter()
                 .map(|bin| {
                     scope.spawn(move || {
-                        let mut lat = Vec::new();
-                        for tenant in bin {
-                            lat.extend(tenant.drain(batch_size));
-                        }
-                        lat
+                        bin.into_iter()
+                            .map(|task| match task {
+                                Task::Whole {
+                                    tenant,
+                                    env,
+                                    slots,
+                                    events,
+                                } => (tenant, drain_grouped(&env, slots, &events, batch_size)),
+                                Task::Run {
+                                    tenant,
+                                    slot,
+                                    events,
+                                } => (tenant, drain_session(slot, &events)),
+                            })
+                            .collect::<Vec<_>>()
                     })
                 })
                 .collect();
@@ -348,11 +582,54 @@ impl TuningService {
                 .flat_map(|h| h.join().expect("service worker panicked"))
                 .collect()
         });
-        latencies.sort_unstable();
+
+        // Round bookkeeping on the main thread, where it is deterministic:
+        // per-tenant processed counters, and one IBG generation advance per
+        // split tenant (grouped drains advance per batch themselves).
+        for &t in &split_tenants {
+            self.tenants[t].env.advance_ibg_generation();
+        }
+        for (t, tenant) in self.tenants.iter_mut().enumerate() {
+            tenant.processed += events[t].len() as u64;
+        }
+
+        let mut all = Vec::new();
+        let mut per_tenant: Vec<Vec<u64>> = vec![Vec::new(); self.tenants.len()];
+        for (t, latencies) in results {
+            all.extend_from_slice(&latencies);
+            per_tenant[t].extend(latencies);
+        }
+        all.sort_unstable();
+        let tenant_latencies_us = per_tenant
+            .into_iter()
+            .enumerate()
+            .filter(|(_, samples)| !samples.is_empty())
+            .map(|(t, mut samples)| {
+                samples.sort_unstable();
+                (TenantId(t as u32), samples)
+            })
+            .collect();
         BatchReport {
             events: total,
             wall_seconds: start.elapsed().as_secs_f64(),
-            latencies_us: latencies,
+            latencies_us: all,
+            tenant_latencies_us,
+        }
+    }
+
+    /// Drain the ingress completely: loop [`TuningService::poll`] rounds
+    /// until no event is pending, absorbing each round's report.  A thin
+    /// wrapper over `poll` — when all events were submitted before the call
+    /// (the deterministic replay shape) this is exactly one round and the
+    /// results are bit-identical to the historical stop-the-world drain.
+    pub fn process_pending(&mut self) -> BatchReport {
+        let mut report = BatchReport::default();
+        loop {
+            let round = self.poll();
+            if round.events == 0 {
+                return report;
+            }
+            report.absorb(round);
         }
     }
 
@@ -530,6 +807,58 @@ mod tests {
         assert_eq!(batch.latencies_us.len(), 5);
         assert!(batch.events_per_sec() > 0.0);
         assert!(batch.p50_us() <= batch.p99_us());
+        // Per-tenant latency breakout: only the busy tenant has samples.
+        assert_eq!(batch.tenant_latencies_us.len(), 1);
+        assert_eq!(batch.tenant_latencies_us[0].0, ids[0]);
+        assert!(batch.tenant_p50_us(ids[0]) <= batch.tenant_p99_us(ids[0]));
+        assert_eq!(batch.tenant_p99_us(ids[1]), 0);
+        // Scheduler counters: one round, two session-runs, no steals
+        // (stealing is off by default).
+        let sched = svc.sched_stats();
+        assert_eq!(sched.rounds, 1);
+        assert_eq!(sched.session_runs, 2);
+        assert_eq!(sched.stolen_runs, 0);
+        assert_eq!(sched.max_queue_depth, 5);
+    }
+
+    #[test]
+    fn batch_reports_absorb_keeps_latencies_sorted_and_merged() {
+        let mut acc = BatchReport::default();
+        acc.absorb(BatchReport {
+            events: 3,
+            wall_seconds: 0.5,
+            latencies_us: vec![10, 30, 50],
+            tenant_latencies_us: vec![(TenantId(1), vec![10, 30, 50])],
+        });
+        acc.absorb(BatchReport {
+            events: 2,
+            wall_seconds: 0.25,
+            latencies_us: vec![20, 40],
+            tenant_latencies_us: vec![(TenantId(0), vec![20, 40])],
+        });
+        acc.absorb(BatchReport::default());
+        assert_eq!(acc.events, 5);
+        assert!((acc.wall_seconds - 0.75).abs() < 1e-12);
+        assert_eq!(acc.latencies_us, vec![10, 20, 30, 40, 50]);
+        // Per-tenant samples stay per tenant, listed in tenant order.
+        assert_eq!(
+            acc.tenant_latencies_us,
+            vec![(TenantId(0), vec![20, 40]), (TenantId(1), vec![10, 30, 50])]
+        );
+        assert_eq!(acc.tenant_p99_us(TenantId(1)), 50);
+
+        // Overlapping tenants merge their runs, staying sorted.
+        acc.absorb(BatchReport {
+            events: 2,
+            wall_seconds: 0.0,
+            latencies_us: vec![5, 35],
+            tenant_latencies_us: vec![(TenantId(1), vec![5, 35])],
+        });
+        assert_eq!(acc.latencies_us, vec![5, 10, 20, 30, 35, 40, 50]);
+        assert_eq!(
+            acc.tenant_latencies_us[1],
+            (TenantId(1), vec![5, 10, 30, 35, 50])
+        );
     }
 
     #[test]
@@ -573,6 +902,61 @@ mod tests {
         assert_eq!(svc.session_stats(SessionId::new(ids[1], 0)).votes, 0);
         assert!(svc.recommendation(SessionId::new(ids[0], 0)).contains(idx));
         assert!(svc.materialized(SessionId::new(ids[0], 0)).is_empty());
+    }
+
+    /// Async ingestion: events submitted *between* poll rounds (as a live
+    /// producer would through a [`ServiceHandle`]) are processed by the next
+    /// round, and the final state equals a one-shot drain of the same
+    /// per-tenant stream.
+    #[test]
+    fn submissions_between_polls_match_a_single_drain() {
+        let queries = |svc: &TuningService, id: TenantId| -> Vec<Arc<Statement>> {
+            [
+                "SELECT b FROM t WHERE a = 1",
+                "SELECT a FROM t WHERE b = 2",
+                "SELECT b FROM t WHERE a < 5",
+            ]
+            .iter()
+            .map(|sql| Arc::new(svc.env(id).database().parse(sql).unwrap()))
+            .collect()
+        };
+
+        // Incremental: one poll round per statement.
+        let (mut incremental, ids) = seeded_service(1, 2);
+        let handle = incremental.handle();
+        for q in queries(&incremental, ids[0]) {
+            handle.submit(Event::query(ids[0], q));
+            let round = incremental.poll();
+            assert_eq!(round.events, 1);
+        }
+        assert_eq!(incremental.sched_stats().rounds, 3);
+
+        // One-shot: everything queued, then a single drain.
+        let (mut oneshot, oids) = seeded_service(1, 2);
+        for q in queries(&oneshot, oids[0]) {
+            oneshot.submit(Event::query(oids[0], q));
+        }
+        oneshot.process_pending();
+        assert_eq!(oneshot.sched_stats().rounds, 1);
+
+        for (a, b) in incremental.session_ids().iter().zip(oneshot.session_ids()) {
+            let sa = incremental.session_stats(*a);
+            let sb = oneshot.session_stats(b);
+            assert_eq!(sa.queries, sb.queries);
+            assert_eq!(sa.total_work.to_bits(), sb.total_work.to_bits());
+            assert_eq!(
+                incremental
+                    .cost_series(*a)
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<_>>(),
+                oneshot
+                    .cost_series(b)
+                    .iter()
+                    .map(|c| c.to_bits())
+                    .collect::<Vec<_>>()
+            );
+        }
     }
 
     /// Regression (batch drain): interleaving `Query`/`Vote` events across
@@ -736,5 +1120,62 @@ mod tests {
         };
         assert_eq!(run(1), run(4));
         assert_eq!(run(4), run(16));
+    }
+
+    /// The scheduler-equivalence contract at daemon level: stealing may only
+    /// change steal/queue/wall-clock metrics, never session state.
+    #[test]
+    fn stealing_preserves_session_state_bit_for_bit() {
+        let run = |steal: bool, workers: usize| {
+            let mut svc = TuningService::with_workers(workers).with_steal(steal);
+            let mut tenants = Vec::new();
+            for t in 0..3 {
+                let handle = db();
+                // Uncached: sessions share no mutable state, so even the
+                // per-session what-if counters stay deterministic under
+                // concurrent stolen runs.
+                let id = svc.add_tenant_uncached(format!("tenant-{t}"), handle.clone());
+                for s in 0..3 {
+                    svc.add_session(id, format!("s{s}"), wfit_builder);
+                }
+                let q = Arc::new(
+                    handle
+                        .parse(&format!("SELECT b FROM t WHERE a = {}", t + 1))
+                        .unwrap(),
+                );
+                // Skew: tenant 0 gets 8×, the rest 1×.
+                let n = if t == 0 { 16 } else { 2 };
+                for _ in 0..n {
+                    svc.submit(Event::query(id, q.clone()));
+                }
+                tenants.push(id);
+            }
+            svc.process_pending();
+            let fingerprint: Vec<(u64, u64, u64)> = svc
+                .session_ids()
+                .iter()
+                .map(|&sid| {
+                    let stats = svc.session_stats(sid);
+                    (
+                        stats.queries,
+                        stats.total_work.to_bits(),
+                        svc.session_whatif_requests(sid),
+                    )
+                })
+                .collect();
+            (fingerprint, svc.sched_stats())
+        };
+        let (pinned, pinned_sched) = run(false, 4);
+        let (stolen, stolen_sched) = run(true, 4);
+        assert_eq!(pinned, stolen, "stealing must not change session state");
+        assert_eq!(pinned_sched.stolen_runs, 0);
+        assert!(
+            stolen_sched.stolen_runs > 0,
+            "the skewed snapshot must trigger steals: {stolen_sched:?}"
+        );
+        // Steal counters are themselves deterministic: a pure function of
+        // the depth snapshot.
+        let (_, again) = run(true, 4);
+        assert_eq!(stolen_sched, again);
     }
 }

@@ -80,25 +80,54 @@ struct StoreEntry {
 ///
 /// The map is nested (`fingerprint → relevant set → entry`) so the hot
 /// lookup path borrows both key parts — no `IndexSet` clone per request.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct IbgStore {
     entries: RwLock<HashMap<u64, HashMap<IndexSet, StoreEntry>>>,
     generation: AtomicU64,
+    keep_generations: u64,
     builds: AtomicU64,
     reuses: AtomicU64,
     retired: AtomicU64,
 }
 
+impl Default for IbgStore {
+    fn default() -> Self {
+        Self::with_keep_generations(Self::KEEP_GENERATIONS)
+    }
+}
+
 impl IbgStore {
     /// How many generations an untouched graph survives
-    /// [`IbgStore::advance_generation`]: the current batch's graphs plus the
-    /// previous batch's (so a statement repeating across adjacent batches
-    /// still reuses its graph).
+    /// [`IbgStore::advance_generation`] by default: the current batch's
+    /// graphs plus the previous batch's (so a statement repeating across
+    /// adjacent batches still reuses its graph).
     pub const KEEP_GENERATIONS: u64 = 1;
 
-    /// An empty store.
+    /// An empty store retiring untouched graphs after
+    /// [`IbgStore::KEEP_GENERATIONS`] generations.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty store keeping untouched graphs alive for `keep` generations
+    /// instead of the default [`IbgStore::KEEP_GENERATIONS`].  Larger values
+    /// trade memory for warm-start reach: a session added mid-stream (or a
+    /// workload phase that returns after a gap) still finds the graphs its
+    /// tenant built `keep` batches ago.
+    pub fn with_keep_generations(keep: u64) -> Self {
+        Self {
+            entries: RwLock::default(),
+            generation: AtomicU64::new(0),
+            keep_generations: keep,
+            builds: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
+        }
+    }
+
+    /// How many generations an untouched graph survives in this store.
+    pub fn keep_generations(&self) -> u64 {
+        self.keep_generations
     }
 
     /// Fetch the graph for `(fingerprint, relevant)`, building it with
@@ -142,7 +171,7 @@ impl IbgStore {
     }
 
     /// Start a new generation, retiring every graph not touched within the
-    /// last [`IbgStore::KEEP_GENERATIONS`] generations.  The service's batch
+    /// last [`IbgStore::keep_generations`] generations.  The service's batch
     /// drain calls this once per coalesced batch, which bounds the resident
     /// graphs to the working set of recent batches.
     pub fn advance_generation(&self) {
@@ -152,7 +181,7 @@ impl IbgStore {
         entries.retain(|_, by_set| {
             let before = by_set.len();
             by_set.retain(|_, entry| {
-                entry.touched.load(Ordering::Relaxed) + Self::KEEP_GENERATIONS >= next
+                entry.touched.load(Ordering::Relaxed) + self.keep_generations >= next
             });
             retired += (before - by_set.len()) as u64;
             !by_set.is_empty()
@@ -250,6 +279,33 @@ mod tests {
         // A retired graph is simply rebuilt on next sight.
         let (_, reused) = store.get_or_build(1, &a, || tiny_graph(&a));
         assert!(!reused);
+    }
+
+    #[test]
+    fn keep_generations_is_configurable() {
+        // keep = 3: a graph survives three untouched generation advances…
+        let store = IbgStore::with_keep_generations(3);
+        assert_eq!(store.keep_generations(), 3);
+        let a = IndexSet::single(IndexId(1));
+        store.get_or_build(1, &a, || tiny_graph(&a));
+        for _ in 0..3 {
+            store.advance_generation();
+            assert_eq!(store.len(), 1);
+        }
+        // …but not a fourth.
+        store.advance_generation();
+        assert!(store.is_empty());
+        assert_eq!(store.stats().retired, 1);
+        // keep = 0 retires everything untouched on the next advance.
+        let eager = IbgStore::with_keep_generations(0);
+        eager.get_or_build(1, &a, || tiny_graph(&a));
+        eager.advance_generation();
+        assert!(eager.is_empty());
+        // The default matches the historical constant.
+        assert_eq!(
+            IbgStore::new().keep_generations(),
+            IbgStore::KEEP_GENERATIONS
+        );
     }
 
     #[test]

@@ -1,0 +1,241 @@
+//! Sharded, lock-per-tenant event ingestion.
+//!
+//! The historical service queued events inside the tenant registry itself,
+//! which forced `submit` to take `&mut TuningService` — ingestion and
+//! draining were mutually exclusive by construction, a global
+//! stop-the-world.  The [`Ingress`] moves the pending queues behind interior
+//! mutability: one mutex-guarded FIFO shard per tenant, a read-write lock
+//! only around the shard *directory* (taken for writing only when a tenant
+//! is registered).  Submitting therefore contends on nothing but the target
+//! tenant's shard, and — crucially — it works through a shared reference,
+//! so producers can keep calling [`Ingress::submit`] (via a cloned
+//! [`ServiceHandle`]) while a drain is running on another thread.
+//!
+//! Ordering contract: events of one tenant are delivered in the order their
+//! `submit` calls completed (per-shard FIFO).  [`Ingress::drain_all`] swaps
+//! every shard's queue out atomically per shard, so a drain round observes a
+//! clean per-tenant prefix of the stream; events submitted concurrently
+//! land in the fresh queues and are picked up by the next round.  When all
+//! producers are single threads per tenant (the deterministic replay
+//! shape), per-tenant order — and with it every non-wall-clock metric — is
+//! exactly the submission order.
+
+use crate::event::{Event, TenantId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One tenant's pending-event FIFO.
+#[derive(Debug, Default)]
+struct Shard {
+    queue: Mutex<VecDeque<Event>>,
+    /// Events ever submitted to this shard (monotonic).
+    submitted: AtomicU64,
+}
+
+/// Deterministic ingestion counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Events submitted across all shards since the ingress was created.
+    pub submitted: u64,
+    /// Events currently queued (not yet drained).
+    pub pending: u64,
+}
+
+/// The sharded front door of the service: per-tenant FIFO queues that accept
+/// [`Ingress::submit`] concurrently with a running drain.
+#[derive(Debug, Default)]
+pub struct Ingress {
+    shards: RwLock<Vec<Shard>>,
+}
+
+impl Ingress {
+    /// An ingress with no shards; [`Ingress::add_shard`] registers tenants.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new tenant shard, returning its index (== the tenant id
+    /// the service will assign).
+    pub fn add_shard(&self) -> usize {
+        let mut shards = self.shards.write();
+        shards.push(Shard::default());
+        shards.len() - 1
+    }
+
+    /// Number of registered shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// Queue an event for its tenant.  Safe to call from any thread, at any
+    /// time — including while a drain is in flight; such events are picked
+    /// up by the next drain round.
+    ///
+    /// # Panics
+    /// If the event addresses an unregistered tenant.
+    pub fn submit(&self, event: Event) {
+        let tenant = event.tenant();
+        let shards = self.shards.read();
+        let shard = shards
+            .get(tenant.0 as usize)
+            .unwrap_or_else(|| panic!("unknown tenant {tenant:?}"));
+        let mut queue = shard.queue.lock();
+        queue.push_back(event);
+        // Count under the shard lock so `submitted` can never lag behind a
+        // drain that already consumed the event.
+        shard.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Events currently queued across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards
+            .read()
+            .iter()
+            .map(|s| s.queue.lock().len())
+            .sum()
+    }
+
+    /// Events currently queued for one tenant.
+    pub fn tenant_pending(&self, tenant: TenantId) -> usize {
+        self.shards
+            .read()
+            .get(tenant.0 as usize)
+            .map(|s| s.queue.lock().len())
+            .unwrap_or(0)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> IngressStats {
+        let shards = self.shards.read();
+        IngressStats {
+            submitted: shards
+                .iter()
+                .map(|s| s.submitted.load(Ordering::Relaxed))
+                .sum(),
+            pending: shards.iter().map(|s| s.queue.lock().len() as u64).sum(),
+        }
+    }
+
+    /// Swap every shard's queue out, returning one event run per tenant
+    /// (indexed by tenant id; tenants with nothing pending get an empty
+    /// vector).  Each shard is swapped atomically, so per-tenant FIFO order
+    /// is preserved; events submitted while the drain round runs accumulate
+    /// in the fresh queues.
+    pub fn drain_all(&self) -> Vec<Vec<Event>> {
+        self.shards
+            .read()
+            .iter()
+            .map(|s| {
+                let mut queue = s.queue.lock();
+                if queue.is_empty() {
+                    Vec::new()
+                } else {
+                    std::mem::take(&mut *queue).into()
+                }
+            })
+            .collect()
+    }
+}
+
+/// A cloneable, `Send + Sync` submission handle over a service's ingress.
+///
+/// This is how producers feed a service that is concurrently draining: the
+/// handle borrows nothing from the [`crate::TuningService`], so worker
+/// threads can submit while another thread calls
+/// [`crate::TuningService::poll`].
+#[derive(Debug, Clone)]
+pub struct ServiceHandle {
+    ingress: Arc<Ingress>,
+}
+
+impl ServiceHandle {
+    /// Wrap an ingress (the service constructs these via
+    /// [`crate::TuningService::handle`]).
+    pub(crate) fn new(ingress: Arc<Ingress>) -> Self {
+        Self { ingress }
+    }
+
+    /// Queue an event for its tenant (see [`Ingress::submit`]).
+    pub fn submit(&self, event: Event) {
+        self.ingress.submit(event);
+    }
+
+    /// Events currently queued across all tenants.
+    pub fn pending(&self) -> usize {
+        self.ingress.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdb::index::IndexSet;
+
+    fn vote(tenant: u32) -> Event {
+        Event::vote(TenantId(tenant), IndexSet::empty(), IndexSet::empty())
+    }
+
+    #[test]
+    fn shards_preserve_per_tenant_fifo_order() {
+        let ingress = Ingress::new();
+        ingress.add_shard();
+        ingress.add_shard();
+        for i in 0..4 {
+            ingress.submit(Event::vote(
+                TenantId(i % 2),
+                IndexSet::empty(),
+                IndexSet::empty(),
+            ));
+        }
+        assert_eq!(ingress.pending(), 4);
+        assert_eq!(ingress.tenant_pending(TenantId(0)), 2);
+        let runs = ingress.drain_all();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].len(), 2);
+        assert_eq!(runs[1].len(), 2);
+        assert_eq!(ingress.pending(), 0);
+        let stats = ingress.stats();
+        assert_eq!(stats.submitted, 4);
+        assert_eq!(stats.pending, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown tenant")]
+    fn submitting_to_an_unregistered_tenant_panics() {
+        let ingress = Ingress::new();
+        ingress.add_shard();
+        ingress.submit(vote(7));
+    }
+
+    #[test]
+    fn concurrent_submission_during_drain_loses_nothing() {
+        let ingress = Arc::new(Ingress::new());
+        for _ in 0..4 {
+            ingress.add_shard();
+        }
+        let handle = ServiceHandle::new(ingress.clone());
+        const PER_THREAD: usize = 500;
+        let drained: usize = std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        handle.submit(vote(t));
+                    }
+                });
+            }
+            // Drain repeatedly while the producers are still submitting.
+            let mut seen = 0;
+            while seen < 4 * PER_THREAD {
+                seen += ingress.drain_all().iter().map(Vec::len).sum::<usize>();
+                std::thread::yield_now();
+            }
+            seen
+        });
+        assert_eq!(drained, 4 * PER_THREAD);
+        assert_eq!(ingress.pending(), 0);
+        assert_eq!(ingress.stats().submitted, (4 * PER_THREAD) as u64);
+    }
+}

@@ -18,18 +18,27 @@
 //!   [`wfit_core::TuningSession`] driving any boxed
 //!   [`wfit_core::IndexAdvisor`] (WFIT, BC, …) over the tenant's
 //!   environment ([`TenantEnv`]);
-//! * one **event queue** per tenant — [`Event::Query`] and [`Event::Vote`]
-//!   items submitted with [`TuningService::submit`] are sharded by tenant id
-//!   and drained in submission order by [`TuningService::process_pending`],
-//!   which runs tenants in parallel on a `std::thread::scope` worker pool;
-//!   with [`TuningService::with_batch_size`] runs of consecutive queries are
-//!   coalesced and processed session-major against one warmed cache
-//!   generation (votes always close a batch).
+//! * a sharded **ingress** of pending events — [`Event::Query`] and
+//!   [`Event::Vote`] items submitted with [`TuningService::submit`] (or a
+//!   cloned [`ServiceHandle`], from any thread, **while a drain is
+//!   running**) are sharded by tenant id into per-tenant FIFO queues
+//!   ([`Ingress`]) and drained in submission order by
+//!   [`TuningService::poll`] rounds ([`TuningService::process_pending`]
+//!   loops rounds until empty); with [`TuningService::with_batch_size`]
+//!   runs of consecutive queries are coalesced and processed session-major
+//!   against one warmed cache generation (votes always close a batch);
+//! * a **work-stealing scheduler** ([`scheduler`], opt-in via
+//!   [`TuningService::with_steal`]) — each drain round plans worker bins
+//!   from the queue-depth snapshot, and a worker that would idle takes
+//!   whole *session-runs* from the most-loaded bin, so one hot tenant no
+//!   longer serializes behind a single thread.
 //!
-//! Per-tenant results are bit-deterministic: one worker processes one
-//! tenant's events in order, tenants share no mutable state, and the shared
-//! cache returns exactly what the optimizer would — parallelism only changes
-//! wall-clock numbers ([`BatchReport`]), never recommendations or costs.
+//! Per-session results are bit-deterministic: every session processes its
+//! tenant's events in submission order (stealing moves whole session-runs,
+//! never splits one), the steal plan is a pure function of queue depths,
+//! and the shared cache returns exactly what the optimizer would —
+//! parallelism only changes wall-clock numbers ([`BatchReport`]), never
+//! recommendations or costs.
 //!
 //! ## Quickstart
 //!
@@ -83,8 +92,12 @@ pub mod daemon;
 pub mod env;
 pub mod event;
 pub mod ibg_store;
+pub mod ingress;
+pub mod scheduler;
 
 pub use daemon::{BatchReport, ServiceSession, TuningService};
 pub use env::{TenantEnv, TenantOptions};
 pub use event::{Event, SessionId, TenantId};
 pub use ibg_store::{IbgStats, IbgStore};
+pub use ingress::{Ingress, IngressStats, ServiceHandle};
+pub use scheduler::{SchedStats, SchedulePlan, SchedulerConfig};

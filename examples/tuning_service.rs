@@ -4,8 +4,13 @@
 //! answering what-if questions out of the tenant's shared cost cache.
 //! The hot-path knobs are all on: each tenant's cache is capacity-bounded
 //! (deterministic CLOCK eviction), built IBGs are shared across the
-//! tenant's sessions, and the drain coalesces queries into session-major
-//! batches.
+//! tenant's sessions, the drain coalesces queries into session-major
+//! batches, and the work-stealing scheduler spreads a hot tenant's
+//! session-runs across idle workers.
+//!
+//! The second act demonstrates **async ingestion**: a producer thread keeps
+//! submitting events through a cloned `ServiceHandle` while the main thread
+//! polls drain rounds — submission is never blocked by a running drain.
 //!
 //! Run with `cargo run --release --example tuning_service`.
 
@@ -23,12 +28,17 @@ const STATEMENTS_PER_PHASE: usize = 8;
 const CACHE_CAPACITY: usize = 256;
 /// Consecutive queries coalesced into one session-major batch.
 const BATCH_SIZE: usize = 8;
+/// Worker threads (pinned, not host-derived, so the work-stealing plan is
+/// the same on every machine).
+const WORKERS: usize = 4;
 
 fn main() {
     // Generate eight independent tenant workloads (same benchmark shape,
     // decorrelated seeds) and mine each tenant's offline candidates.
     println!("preparing {TENANTS} tenant workloads…");
-    let mut service = TuningService::new().with_batch_size(BATCH_SIZE);
+    let mut service = TuningService::with_workers(WORKERS)
+        .with_batch_size(BATCH_SIZE)
+        .with_steal(true);
     let mut streams = Vec::new();
     for t in 0..TENANTS {
         let bench = Benchmark::generate(BenchmarkSpec {
@@ -82,6 +92,51 @@ fn main() {
         service.session_count()
     );
     let batch = service.process_pending();
+
+    // Act two — live submission during a drain.  A producer thread replays
+    // tenant 0's stream again through a cloned handle while this thread
+    // polls: every round snapshots whatever has arrived and the
+    // work-stealing plan spreads tenant 0's backlog over idle workers.
+    let (hot_tenant, replay) = (streams[0].0, streams[0].1.clone());
+    let expected = replay.len() as u64;
+    let handle = service.handle();
+    let mut live = wfit::service::BatchReport::default();
+    let mut live_rounds = 0u64;
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for statement in replay {
+                handle.submit(Event::query(hot_tenant, Arc::new(statement)));
+            }
+        });
+        let mut processed = 0u64;
+        while processed < expected {
+            let round = service.poll();
+            processed += round.events;
+            if round.events == 0 {
+                std::thread::yield_now();
+            } else {
+                live_rounds += 1;
+            }
+            live.absorb(round);
+        }
+    });
+    println!(
+        "live ingestion: {} events drained over {} poll rounds while the \
+         producer was still submitting (hot-tenant p99 {}µs)",
+        live.events,
+        live_rounds,
+        live.tenant_p99_us(hot_tenant),
+    );
+    let sched = service.sched_stats();
+    println!(
+        "scheduler: {} rounds, {} session-runs ({} stolen), max queue depth {}, \
+         load imbalance {:.3}",
+        sched.rounds,
+        sched.session_runs,
+        sched.stolen_runs,
+        sched.max_queue_depth,
+        sched.max_imbalance,
+    );
 
     println!();
     println!(

@@ -228,6 +228,109 @@ fn service_evict_mini_matches_golden() {
 }
 
 #[test]
+fn service_skew_mini_matches_golden() {
+    let spec = scenarios::service_skew_mini();
+    let report = check_report_against_golden(&spec.name.clone(), run_service_scenario(&spec));
+    assert_eq!(report.cells.len(), 3 * 2, "3 tenants × 2 sessions");
+    let service = report.service.as_ref().expect("service summary present");
+    assert_eq!(service.tenants, 3);
+    assert!(service.steal);
+    assert_eq!(service.workers, 4);
+    // The whole point of the scenario: the hot tenant's backlog triggers
+    // steals, and the steal counters are deterministic (they live in the
+    // golden snapshot, so any nondeterminism fails this test across runs).
+    assert!(
+        service.stolen_runs > 0,
+        "the skewed snapshot must trigger steals: {service:?}"
+    );
+    assert!(service.session_runs >= service.stolen_runs);
+    assert!(
+        service.load_imbalance >= 1.0,
+        "imbalance is normalized to ideal load"
+    );
+    // Hot tenant = 8× the cold tenants' events.
+    assert_eq!(
+        service.max_queue_depth as usize,
+        spec.statements_for_tenant(0) + spec.statements_for_tenant(0) / spec.feedback_every,
+        "hot tenant queue depth = statements + scheduled votes"
+    );
+    // The uncached control arm keeps every overhead counter at zero — which
+    // is what makes the full summary golden-safe under concurrent steals.
+    assert_eq!(service.cache_requests, 0);
+    assert_eq!(service.ibg_builds + service.ibg_reuses, 0);
+
+    // Determinism under stealing: a rerun renders byte-identical JSON.
+    let rerun = run_service_scenario(&scenarios::service_skew_mini());
+    assert_eq!(report.to_json(), rerun.to_json());
+}
+
+/// Scheduler equivalence, satellite of the work-stealing PR: stealing (or
+/// dialing workers up/down) may change only steal/queue metrics and
+/// timing-dependent overhead counters — session state, and with it every
+/// golden cost cell, must stay bit-identical to the pinned single-worker
+/// drain.
+#[test]
+fn stealing_and_worker_count_never_change_cost_cells() {
+    let assert_cells_equal = |name: &str, base: &RunReport, variant: &RunReport, whatif: bool| {
+        assert_eq!(base.cells.len(), variant.cells.len(), "{name}");
+        for (b, v) in base.cells.iter().zip(&variant.cells) {
+            assert_eq!(b.label, v.label, "{name}");
+            assert_eq!(
+                b.total_work.to_bits(),
+                v.total_work.to_bits(),
+                "{name}: {}",
+                b.label
+            );
+            assert_eq!(b.ratio_series, v.ratio_series, "{name}: {}", b.label);
+            assert_eq!(b.transitions, v.transitions, "{name}: {}", b.label);
+            assert_eq!(
+                b.final_config_size, v.final_config_size,
+                "{name}: {}",
+                b.label
+            );
+            if whatif {
+                assert_eq!(b.whatif_calls, v.whatif_calls, "{name}: {}", b.label);
+            }
+        }
+    };
+
+    // service-mini (unbounded shared cache, no IBG store): with stealing
+    // disabled the golden run is reproduced whatever the worker count; with
+    // stealing enabled cost cells and per-session what-if counts still
+    // match (each session issues its deterministic request stream; only the
+    // cache's hit/miss split is timing-dependent).
+    let golden = run_service_scenario(&scenarios::service_mini());
+    let single = run_service_scenario(&scenarios::service_mini().with_workers(1));
+    assert_eq!(
+        golden.to_json(),
+        single.to_json().replace("\"workers\": 1", "\"workers\": 3"),
+        "a single pinned worker replays the golden byte-identically \
+         (modulo the echoed worker-count knob)"
+    );
+    let stolen = run_service_scenario(&scenarios::service_mini().with_workers(2).with_steal(true));
+    assert_cells_equal("service-mini+steal", &golden, &stolen, true);
+    let stolen_svc = stolen.service.as_ref().unwrap();
+    assert!(stolen_svc.steal && stolen_svc.stolen_runs > 0);
+    let golden_svc = golden.service.as_ref().unwrap();
+    assert_eq!(golden_svc.stolen_runs, 0);
+    assert_eq!(
+        golden_svc.cache_requests, stolen_svc.cache_requests,
+        "total cache traffic is deterministic; only the hit/miss split races"
+    );
+
+    // service-evict-mini (bounded cache + IBG store + batching): cost cells
+    // are still bit-identical under stealing; what-if counts are not
+    // asserted (which session wins an IBG build race is timing-dependent).
+    let evict = run_service_scenario(&scenarios::service_evict_mini());
+    let evict_stolen = run_service_scenario(
+        &scenarios::service_evict_mini()
+            .with_workers(4)
+            .with_steal(true),
+    );
+    assert_cells_equal("service-evict-mini+steal", &evict, &evict_stolen, false);
+}
+
+#[test]
 fn service_replay_is_deterministic_for_identical_seeds() {
     // Byte-identical deterministic JSON across two full service replays —
     // including the parallel per-tenant workers and the shared-cache
@@ -252,15 +355,19 @@ fn service_replay_is_deterministic_for_identical_seeds() {
 /// (`WFIT_CACHE_CAP`, `WFIT_BATCH`, `WFIT_IBG_REUSE`, `WFIT_TENANTS`) are
 /// held to the same rule: they may appear only in bench `main`s, never in
 /// library code, where the equivalent setting is an explicit spec field
-/// (`ServiceScenarioSpec::{cache_capacity, batch_size, ibg_reuse, tenants}`).
+/// (`ServiceScenarioSpec::{cache_capacity, batch_size, ibg_reuse, tenants,
+/// workers, steal, skew}`).
 #[test]
 fn harness_and_service_never_read_env_vars() {
-    const KNOB_NAMES: [&str; 5] = [
+    const KNOB_NAMES: [&str; 8] = [
         "WFIT_PHASE_LEN",
         "WFIT_CACHE_CAP",
         "WFIT_BATCH",
         "WFIT_IBG_REUSE",
         "WFIT_TENANTS",
+        "WFIT_WORKERS",
+        "WFIT_STEAL",
+        "WFIT_SKEW",
     ];
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();

@@ -28,8 +28,11 @@ use simdb::index::{IndexId, IndexSet};
 use simdb::optimizer::PlanCost;
 use simdb::types::DataType;
 use std::sync::Arc;
-use wfit::core::TuningEnv;
-use wfit::service::{IbgStore, TenantEnv, TenantOptions};
+use wfit::core::{IndexAdvisor, TuningEnv};
+use wfit::service::{
+    Event, IbgStore, SessionId, TenantEnv, TenantId, TenantOptions, TuningService,
+};
+use wfit::{Wfit, WfitConfig};
 
 const THREADS: usize = 8;
 const OPS_PER_THREAD: usize = 400;
@@ -273,4 +276,158 @@ fn tenant_env_fork_counters_sum_to_shared_cache_requests() {
     assert_eq!(stats.cache_hits + stats.optimizer_calls, stats.requests);
     assert!(stats.entries <= 32);
     assert!(env.ibg_stats().builds + env.ibg_stats().reuses == (THREADS * 6) as u64);
+}
+
+/// The async-ingestion + work-stealing stress scenario of the pipelined
+/// executor: **8 producer threads submit live while 4 stealing workers
+/// drain**, and the final session state is bit-identical to a single-thread
+/// replay of the same per-tenant streams.
+///
+/// One producer per tenant keeps per-tenant submission order deterministic
+/// (the service's ordering contract is per tenant, not global), while the
+/// drain overlaps submission arbitrarily: every poll round snapshots
+/// whatever has arrived, plans a work-stealing schedule from the queue
+/// depths, and executes it on 4 workers — so rounds, steals and
+/// cache-warming interleavings all vary run to run, and none of it may leak
+/// into session state.
+#[test]
+fn concurrent_submission_with_stealing_drain_matches_sequential_replay() {
+    const TENANTS: usize = 8;
+    const QUERIES_PER_TENANT: usize = 40;
+    const VOTE_EVERY: usize = 10;
+
+    // Deterministic per-tenant event streams over one shared catalog shape
+    // (each tenant still gets its own Database instance — tenants never
+    // share state).
+    let build_service = |workers: usize, steal: bool| {
+        let mut svc = TuningService::with_workers(workers)
+            .with_steal(steal)
+            .with_batch_size(2);
+        let mut streams: Vec<Vec<Event>> = Vec::new();
+        for t in 0..TENANTS {
+            let (db, idx) = database();
+            let id = svc.add_tenant_with(
+                format!("tenant-{t}"),
+                db.clone(),
+                TenantOptions::default()
+                    .with_cache_capacity(48)
+                    .with_ibg_reuse(true),
+            );
+            for s in 0..2 {
+                svc.add_session(id, format!("t{t}/s{s}"), |env| {
+                    Box::new(Wfit::new(env, WfitConfig::default())) as Box<dyn IndexAdvisor + Send>
+                });
+            }
+            let stmts: Vec<_> = [
+                "SELECT c FROM t WHERE a = 1",
+                "SELECT c FROM t WHERE b = 2",
+                "SELECT c FROM t WHERE a < 3",
+                "SELECT a FROM t WHERE c = 4",
+            ]
+            .iter()
+            .map(|sql| Arc::new(db.parse(sql).unwrap()))
+            .collect();
+            let mut events = Vec::new();
+            for i in 0..QUERIES_PER_TENANT {
+                events.push(Event::query(id, stmts[(t + i) % stmts.len()].clone()));
+                if (i + 1) % VOTE_EVERY == 0 {
+                    events.push(Event::vote(
+                        id,
+                        IndexSet::single(idx[i / VOTE_EVERY % idx.len()]),
+                        IndexSet::empty(),
+                    ));
+                }
+            }
+            streams.push(events);
+        }
+        (svc, streams)
+    };
+
+    let fingerprint = |svc: &TuningService| -> Vec<String> {
+        (0..TENANTS as u32)
+            .flat_map(|t| {
+                (0..2).map(move |s| {
+                    let id = SessionId::new(TenantId(t), s);
+                    (t, id)
+                })
+            })
+            .map(|(t, id)| {
+                let stats = svc.session_stats(id);
+                format!(
+                    "t{t}/{} q={} v={} tw={} rec={} series={:?}",
+                    svc.session_label(id),
+                    stats.queries,
+                    stats.votes,
+                    stats.total_work.to_bits(),
+                    svc.recommendation(id),
+                    svc.cost_series(id)
+                        .iter()
+                        .map(|c| c.to_bits())
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    };
+
+    // Concurrent arm: one producer thread per tenant, main thread polling
+    // with stealing on while producers are mid-stream.
+    let (mut concurrent, streams) = build_service(4, true);
+    let expected: u64 = streams.iter().map(|s| s.len() as u64).sum();
+    let handle = concurrent.handle();
+    let mut processed = 0u64;
+    let mut rounds = 0u64;
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                for event in stream {
+                    handle.submit(event.clone());
+                }
+            });
+        }
+        while processed < expected {
+            let round = concurrent.poll();
+            processed += round.events;
+            rounds += 1;
+            if round.events == 0 {
+                std::thread::yield_now();
+            }
+        }
+    });
+    assert_eq!(concurrent.pending(), 0, "every submitted event was drained");
+    let sched = concurrent.sched_stats();
+    // Empty polls are not counted as rounds; every counted round processed
+    // something.
+    assert!(sched.rounds >= 1 && sched.rounds <= rounds);
+    assert!(sched.session_runs >= sched.rounds);
+
+    // Sequential arm: same streams, everything queued up front, one pinned
+    // worker.
+    let (mut sequential, seq_streams) = build_service(1, false);
+    for stream in &seq_streams {
+        for event in stream {
+            sequential.submit(event.clone());
+        }
+    }
+    sequential.process_pending();
+    assert_eq!(sequential.sched_stats().rounds, 1);
+    assert_eq!(sequential.sched_stats().stolen_runs, 0);
+
+    assert_eq!(
+        fingerprint(&concurrent),
+        fingerprint(&sequential),
+        "live submission + work-stealing drain must replay to identical session state"
+    );
+
+    // Counters still reconcile under the concurrent schedule: every cache
+    // request is exactly one hit or one miss, occupancy respects capacity.
+    for t in 0..TENANTS as u32 {
+        let stats = concurrent.cache_stats(TenantId(t));
+        assert_eq!(stats.cache_hits + stats.optimizer_calls, stats.requests);
+        assert!(stats.entries <= 48);
+        assert_eq!(
+            concurrent.tenant_processed(TenantId(t)),
+            streams[t as usize].len() as u64
+        );
+    }
 }
