@@ -23,6 +23,10 @@
 //!   bins)
 //! * `WFIT_SKEW`      — hot-tenant multiplier: tenant 0 replays this many
 //!   times the statements of every other tenant (default 1 = uniform)
+//! * `WFIT_DEPTH`     — per-tenant ingress depth limit (default 0 =
+//!   unbounded); turns the admission gate on
+//! * `WFIT_OFFERED`   — offered-load multiplier per submission wave under a
+//!   bounded ingress (default 1; >1 overloads the gate so queries shed)
 //!
 //! The acceptance experiment for the work-stealing scheduler:
 //!
@@ -33,6 +37,14 @@
 //!
 //! shows higher events/sec with stealing (identical session state — the
 //! cost cells are bit-equal; only overhead counters and wall clock move).
+//! The overload experiment for the admission gate:
+//!
+//! ```sh
+//! WFIT_DEPTH=8 WFIT_OFFERED=4 cargo bench --bench service_throughput
+//! ```
+//!
+//! prints the shed rate and the pending-memory high-water mark, which stays
+//! at the configured budget no matter how hard the producers push.
 
 use bench::{phase_len_from_env, print_summaries, run_service_scenario, scenarios};
 
@@ -50,7 +62,9 @@ fn main() {
         .with_ibg_reuse(env_usize("WFIT_IBG_REUSE", 0) != 0)
         .with_workers(env_usize("WFIT_WORKERS", 0))
         .with_steal(env_usize("WFIT_STEAL", 0) != 0)
-        .with_skew(env_usize("WFIT_SKEW", 1));
+        .with_skew(env_usize("WFIT_SKEW", 1))
+        .with_ingress_depths(env_usize("WFIT_DEPTH", 0), 0)
+        .with_offered_multiplier(env_usize("WFIT_OFFERED", 1));
     let tenants = spec.tenants;
     let cap = match spec.cache_capacity {
         0 => "unbounded".to_string(),
@@ -113,6 +127,27 @@ fn main() {
     println!(
         "ibg store       {:>12} built, {} reused",
         service.ibg_builds, service.ibg_reuses
+    );
+    let turned_away = service.shed_events + service.rejected_submits;
+    println!(
+        "admission gate  {:>12} offered, {} shed, {} rejected, {} deferred (shed rate {:.3})",
+        service.offered_events,
+        service.shed_events,
+        service.rejected_submits,
+        service.deferred_events,
+        turned_away as f64 / service.offered_events.max(1) as f64,
+    );
+    println!(
+        "peak pending    {:>12} events (memory high-water mark; depth {}/tenant, {} global)",
+        service.peak_pending,
+        match service.per_tenant_depth {
+            0 => "∞".to_string(),
+            d => d.to_string(),
+        },
+        match service.global_depth {
+            0 => "∞".to_string(),
+            d => d.to_string(),
+        },
     );
     println!();
     print_summaries(&report);

@@ -130,6 +130,26 @@ pub struct ServiceSummary {
     /// Worst planned per-round load imbalance
     /// (`max_worker_load / ideal_load`; 1.0 = perfectly fair).
     pub load_imbalance: f64,
+    /// Per-tenant ingress depth limit the run was admitted under (0 =
+    /// unbounded, the historical default).
+    pub per_tenant_depth: usize,
+    /// Global ingress budget the run was admitted under (0 = unbounded).
+    pub global_depth: usize,
+    /// Total offered load: every submission attempt, admitted or rejected
+    /// (`submitted + rejected` at the ingress).
+    pub offered_events: u64,
+    /// Queries displaced by vote admissions at full queues (admitted, then
+    /// dropped before any drain saw them) — deterministic under the replay
+    /// shape, golden-pinned by the overload scenario.
+    pub shed_events: u64,
+    /// Admissions that parked for capacity or went over budget (unsheddable
+    /// votes with nothing to displace).
+    pub deferred_events: u64,
+    /// Sheddable submissions the admission gate turned away.
+    pub rejected_submits: u64,
+    /// High-water mark of the global pending count — the memory bound the
+    /// admission gate enforced (≤ the caps except for deferred votes).
+    pub peak_pending: u64,
     /// Events processed per wall-clock second (timing JSON only).
     pub events_per_sec: f64,
     /// Median per-event latency in microseconds (timing JSON only).
@@ -165,6 +185,13 @@ impl ServiceSummary {
             ("stolen_runs", Json::Num(self.stolen_runs as f64)),
             ("max_queue_depth", Json::Num(self.max_queue_depth as f64)),
             ("load_imbalance", Json::Num(self.load_imbalance)),
+            ("per_tenant_depth", Json::Num(self.per_tenant_depth as f64)),
+            ("global_depth", Json::Num(self.global_depth as f64)),
+            ("offered_events", Json::Num(self.offered_events as f64)),
+            ("shed_events", Json::Num(self.shed_events as f64)),
+            ("deferred_events", Json::Num(self.deferred_events as f64)),
+            ("rejected_submits", Json::Num(self.rejected_submits as f64)),
+            ("peak_pending", Json::Num(self.peak_pending as f64)),
         ];
         if with_timing {
             let latencies = |samples: &[u64]| {
@@ -346,6 +373,13 @@ mod tests {
             stolen_runs: 2,
             max_queue_depth: 34,
             load_imbalance: 1.25,
+            per_tenant_depth: 8,
+            global_depth: 20,
+            offered_events: 120,
+            shed_events: 3,
+            deferred_events: 1,
+            rejected_submits: 14,
+            peak_pending: 20,
             events_per_sec: 123.4,
             latency_p50_us: 10,
             latency_p99_us: 50,
@@ -359,6 +393,10 @@ mod tests {
         assert!(stable.contains("cache_evictions") && stable.contains("ibg_reuses"));
         assert!(stable.contains("stolen_runs") && stable.contains("load_imbalance"));
         assert!(stable.contains("\"steal\": true"));
+        // Admission-gate counters are pure functions of submission order and
+        // belong to the golden rendering too.
+        assert!(stable.contains("shed_events") && stable.contains("rejected_submits"));
+        assert!(stable.contains("peak_pending") && stable.contains("per_tenant_depth"));
         // Wall-clock service metrics never reach the golden-file rendering.
         assert!(!stable.contains("events_per_sec"));
         assert!(!stable.contains("latency_p99_us"));

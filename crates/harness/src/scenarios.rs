@@ -280,6 +280,40 @@ pub fn service_skew_mini() -> ServiceScenarioSpec {
         .with_steal(true)
 }
 
+/// Per-tenant ingress depth of [`service_overload_mini`]: deliberately far
+/// below a wave's per-tenant offer, so the admission gate must reject and
+/// votes landing on full queues must displace queued queries.
+pub const OVERLOAD_MINI_DEPTH: usize = 8;
+
+/// Global ingress budget of [`service_overload_mini`]: below
+/// `tenants × OVERLOAD_MINI_DEPTH`, so tenants also contend for the shared
+/// budget and some rejections carry the `GlobalFull` reason.
+pub const OVERLOAD_MINI_GLOBAL: usize = 20;
+
+/// Offered-load multiplier of [`service_overload_mini`]: each tenant offers
+/// 4× the per-tenant capacity between drain rounds.
+pub const OVERLOAD_MINI_OFFERED: usize = 4;
+
+/// Miniature *overload* scenario for the golden suite: three tenants flood a
+/// bounded ingress ([`OVERLOAD_MINI_DEPTH`] per tenant,
+/// [`OVERLOAD_MINI_GLOBAL`] global) at [`OVERLOAD_MINI_OFFERED`]× capacity
+/// with scheduled votes, so the gate rejects overflow queries and votes
+/// displace queued ones.  The golden snapshot pins the shed / deferred /
+/// rejected counters and `peak_pending` — all pure functions of submission
+/// order — and `tests/scenarios.rs` additionally proves the surviving
+/// events' cost cells are bit-equal to an un-shed control replay
+/// ([`crate::run_service_control`]).
+pub fn service_overload_mini() -> ServiceScenarioSpec {
+    ServiceScenarioSpec::new("service-overload-mini", 3, MINI_PHASE_LEN)
+        .with_sessions(vec![
+            ServiceSessionSpec::WfitFixed { state_cnt: 500 },
+            ServiceSessionSpec::Bc,
+        ])
+        .with_feedback_every(6)
+        .with_ingress_depths(OVERLOAD_MINI_DEPTH, OVERLOAD_MINI_GLOBAL)
+        .with_offered_multiplier(OVERLOAD_MINI_OFFERED)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,5 +395,25 @@ mod tests {
         assert_eq!(service_mini().skew, 1);
         assert!(!service_mini().steal);
         assert_eq!(service_mini().resolved_workers(), 3);
+    }
+
+    #[test]
+    fn overload_mini_floods_a_bounded_ingress() {
+        let overload = service_overload_mini();
+        assert!(overload.is_bounded());
+        assert_eq!(overload.per_tenant_depth, OVERLOAD_MINI_DEPTH);
+        assert_eq!(overload.global_depth, OVERLOAD_MINI_GLOBAL);
+        assert_eq!(overload.offered_multiplier, OVERLOAD_MINI_OFFERED);
+        // The global budget is the contended resource: it is below the sum
+        // of the per-tenant depths.
+        assert!(OVERLOAD_MINI_GLOBAL < overload.tenants * OVERLOAD_MINI_DEPTH);
+        // Each wave offers more per tenant than both limits can admit.
+        const { assert!(OVERLOAD_MINI_OFFERED * OVERLOAD_MINI_DEPTH > OVERLOAD_MINI_GLOBAL) };
+        // Votes are scheduled often enough to land on full queues.
+        assert_eq!(overload.feedback_every, MINI_PHASE_LEN);
+        // The default scenarios stay unbounded.
+        assert!(!service_mini().is_bounded());
+        assert!(!service_skew_mini().is_bounded());
+        assert_eq!(service_mini().offered_multiplier, 1);
     }
 }

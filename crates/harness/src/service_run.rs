@@ -24,7 +24,7 @@
 use std::sync::Arc;
 
 use advisors::{compute_optimal, BruchoChaudhuriAdvisor, OptSchedule};
-use service::{Event, TenantEnv, TenantOptions, TuningService};
+use service::{Event, IngressConfig, TenantEnv, TenantOptions, TuningService};
 use simdb::index::IndexSet;
 use wfit_core::candidates::{offline_selection, OfflineSelection};
 use wfit_core::config::WfitConfig;
@@ -109,6 +109,19 @@ pub struct ServiceScenarioSpec {
     /// tenant replays `statements_per_phase`.  1 (the default) keeps all
     /// tenants equal.
     pub skew: usize,
+    /// Per-tenant ingress depth limit (0 = unbounded, the historical
+    /// default).  Setting either depth switches the replay into the
+    /// **overload shape**: events are offered in waves through the
+    /// non-blocking admission gate — `offered_multiplier ×` the capacity
+    /// per tenant between drain rounds — so offered load exceeds drain
+    /// capacity and the gate must shed deterministically.
+    pub per_tenant_depth: usize,
+    /// Global ingress budget across all tenants (0 = unbounded).
+    pub global_depth: usize,
+    /// How many times the admission capacity each tenant offers between
+    /// drain rounds in the overload shape (≥ 1; inert without a depth
+    /// limit).
+    pub offered_multiplier: usize,
 }
 
 impl ServiceScenarioSpec {
@@ -134,6 +147,9 @@ impl ServiceScenarioSpec {
             workers: 0,
             steal: false,
             skew: 1,
+            per_tenant_depth: 0,
+            global_depth: 0,
+            offered_multiplier: 1,
         }
     }
 
@@ -197,6 +213,29 @@ impl ServiceScenarioSpec {
     pub fn with_skew(mut self, skew: usize) -> Self {
         self.skew = skew.max(1);
         self
+    }
+
+    /// Bound the service ingress (see [`service::IngressConfig`]): cap each
+    /// tenant's queue at `per_tenant` and the whole ingress at `global`
+    /// pending events (0 disables either limit).  Any bound switches the
+    /// replay into the overload shape — see
+    /// [`ServiceScenarioSpec::per_tenant_depth`].
+    pub fn with_ingress_depths(mut self, per_tenant: usize, global: usize) -> Self {
+        self.per_tenant_depth = per_tenant;
+        self.global_depth = global;
+        self
+    }
+
+    /// Offer `multiplier ×` the admission capacity per tenant between drain
+    /// rounds in the overload shape (values < 1 are clamped to 1).
+    pub fn with_offered_multiplier(mut self, multiplier: usize) -> Self {
+        self.offered_multiplier = multiplier.max(1);
+        self
+    }
+
+    /// Whether the spec replays in the bounded/overload shape.
+    pub fn is_bounded(&self) -> bool {
+        self.per_tenant_depth > 0 || self.global_depth > 0
     }
 
     /// The seed tenant `t` generates its workload from (a splitmix64 step
@@ -352,13 +391,80 @@ fn build_advisor(
     }
 }
 
+/// One entry of a tenant's scheduled replay stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceEventKind {
+    /// The tenant's `pos`-th workload statement.
+    Query(usize),
+    /// A scheduled DBA vote (approve the tenant's top offline candidate,
+    /// reject its last).
+    Vote,
+}
+
+/// Which scheduled events actually reached the sessions of a bounded run —
+/// per tenant, in delivery order.  In the overload shape the admission gate
+/// rejects overflow queries and votes displace queued ones; the trace is
+/// the surviving per-tenant stream, exactly what
+/// [`run_service_control`] needs to prove the survivors' costs are
+/// bit-equal to an un-shed control run.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceTrace {
+    /// Surviving events per tenant (everything, for an unbounded run).
+    pub survivors: Vec<Vec<ServiceEventKind>>,
+}
+
+impl ServiceTrace {
+    /// Queries that reached the sessions of one tenant.
+    pub fn queries(&self, tenant: usize) -> usize {
+        self.survivors[tenant]
+            .iter()
+            .filter(|k| matches!(k, ServiceEventKind::Query(_)))
+            .count()
+    }
+
+    /// Votes that reached the sessions of one tenant.
+    pub fn votes(&self, tenant: usize) -> usize {
+        self.survivors[tenant].len() - self.queries(tenant)
+    }
+}
+
 /// Replay a multi-tenant service scenario into a [`RunReport`].
 ///
 /// Preparation (workload generation, offline analysis, OPT) runs one thread
 /// per tenant — tenants are fully independent, so this is deterministic —
-/// and the event stream is then pushed through a [`TuningService`] in a
-/// single batch.
+/// and the event stream is then pushed through a [`TuningService`]: in a
+/// single batch for unbounded specs (the historical behaviour), or in
+/// overload waves through the admission gate when a depth limit is set
+/// (see [`ServiceScenarioSpec::per_tenant_depth`]).
 pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
+    run_internal(spec, None).0
+}
+
+/// Like [`run_service_scenario`], additionally returning the
+/// [`ServiceTrace`] of events that survived admission — the input for
+/// [`run_service_control`].
+pub fn run_service_scenario_traced(spec: &ServiceScenarioSpec) -> (RunReport, ServiceTrace) {
+    run_internal(spec, None)
+}
+
+/// Replay only the events that survived a bounded run, through an
+/// **unbounded** service built from the same spec.  Because shedding
+/// happens strictly at admission — a shed event simply never existed as far
+/// as the sessions are concerned — the control run's cost cells must be
+/// bit-equal to the bounded run's (regression-tested in
+/// `tests/scenarios.rs`).
+pub fn run_service_control(spec: &ServiceScenarioSpec, trace: &ServiceTrace) -> RunReport {
+    let mut control = spec.clone();
+    control.name = format!("{}-control", spec.name);
+    control.per_tenant_depth = 0;
+    control.global_depth = 0;
+    run_internal(&control, Some(trace)).0
+}
+
+fn run_internal(
+    spec: &ServiceScenarioSpec,
+    replay: Option<&ServiceTrace>,
+) -> (RunReport, ServiceTrace) {
     assert!(
         spec.tenants > 0,
         "service scenario needs at least one tenant"
@@ -366,6 +472,10 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
     assert!(
         !spec.sessions.is_empty(),
         "service scenario needs at least one session per tenant"
+    );
+    assert!(
+        replay.is_none() || !spec.is_bounded(),
+        "survivor replays run unbounded (they are the control arm)"
     );
 
     // Per-tenant offline preparation, in parallel (order restored by index).
@@ -385,6 +495,12 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
     let mut svc = TuningService::with_workers(spec.resolved_workers())
         .with_batch_size(spec.batch_size)
         .with_steal(spec.steal);
+    if spec.is_bounded() {
+        svc = svc.with_ingress(IngressConfig::bounded(
+            spec.per_tenant_depth,
+            spec.global_depth,
+        ));
+    }
     let mut tenant_ids = Vec::with_capacity(spec.tenants);
     for (t, prep) in prepared.iter().enumerate() {
         let options = if spec.shared_cache {
@@ -406,53 +522,160 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
         tenant_ids.push(id);
     }
 
-    // Interleave the tenants' workloads round-robin, mimicking concurrent
-    // arrival, with scheduled votes woven in per tenant.  With skew the hot
-    // tenant's stream is longer: exhausted tenants simply drop out of the
-    // rotation.
-    let max_per_tenant = prepared
-        .iter()
-        .map(|p| p.statements.len())
-        .max()
-        .unwrap_or(0);
-    for pos in 0..max_per_tenant {
-        for (t, prep) in prepared.iter().enumerate() {
-            if pos >= prep.statements.len() {
-                continue;
+    // The global submission schedule: (tenant index, event kind) in the
+    // exact order events are offered.  A survivor replay re-interleaves the
+    // per-tenant streams round-robin; otherwise the schedule is the
+    // historical order — position-major across tenants, mimicking
+    // concurrent arrival, each scheduled vote immediately after its
+    // tenant's triggering query.  With skew the hot tenant's stream is
+    // longer: exhausted tenants simply drop out of the rotation.
+    let mut schedule: Vec<(usize, ServiceEventKind)> = Vec::new();
+    match replay {
+        Some(trace) => {
+            assert_eq!(
+                trace.survivors.len(),
+                spec.tenants,
+                "survivor trace shape must match the spec's tenant count"
+            );
+            let rounds = trace.survivors.iter().map(|s| s.len()).max().unwrap_or(0);
+            for round in 0..rounds {
+                for (t, stream) in trace.survivors.iter().enumerate() {
+                    if let Some(&kind) = stream.get(round) {
+                        schedule.push((t, kind));
+                    }
+                }
             }
-            svc.submit(Event::query(
-                tenant_ids[t],
-                Arc::new(prep.statements[pos].clone()),
-            ));
-            if spec.feedback_every > 0 && (pos + 1) % spec.feedback_every == 0 {
-                let candidates = &prep.default_selection().candidates;
+        }
+        None => {
+            let max_per_tenant = prepared
+                .iter()
+                .map(|p| p.statements.len())
+                .max()
+                .unwrap_or(0);
+            for pos in 0..max_per_tenant {
+                for (t, prep) in prepared.iter().enumerate() {
+                    if pos >= prep.statements.len() {
+                        continue;
+                    }
+                    schedule.push((t, ServiceEventKind::Query(pos)));
+                    if spec.feedback_every > 0 && (pos + 1) % spec.feedback_every == 0 {
+                        schedule.push((t, ServiceEventKind::Vote));
+                    }
+                }
+            }
+        }
+    }
+
+    let make_event = |t: usize, kind: ServiceEventKind| -> Event {
+        match kind {
+            ServiceEventKind::Query(pos) => {
+                Event::query(tenant_ids[t], Arc::new(prepared[t].statements[pos].clone()))
+            }
+            ServiceEventKind::Vote => {
+                let candidates = &prepared[t].default_selection().candidates;
                 let approve = candidates.first().map(|&c| IndexSet::single(c));
                 let reject = candidates.last().filter(|_| candidates.len() > 1);
-                svc.submit(Event::vote(
+                Event::vote(
                     tenant_ids[t],
                     approve.unwrap_or_else(IndexSet::empty),
                     reject
                         .map(|&c| IndexSet::single(c))
                         .unwrap_or_else(IndexSet::empty),
-                ));
+                )
             }
         }
-    }
+    };
 
-    let query_events: u64 = prepared.iter().map(|p| p.statements.len() as u64).sum();
-    let total_events = svc.pending() as u64;
-    let batch = svc.process_pending();
-    assert_eq!(batch.events, total_events);
+    let mut survivors: Vec<Vec<ServiceEventKind>> = vec![Vec::new(); spec.tenants];
+    let batch = if spec.is_bounded() {
+        // Overload shape: offer `offered_multiplier ×` the admission
+        // capacity between drain rounds through the non-blocking gate, so
+        // offered load exceeds drain capacity and the gate must shed.  Each
+        // tenant's pending queue is mirrored on this side of the gate: a
+        // query is mirrored when `try_submit` accepts it, and a vote that
+        // bumps the tenant's shed counter displaced the newest queued
+        // query — so the surviving stream falls out of public counters,
+        // with no extra ingress introspection.
+        let base = if spec.per_tenant_depth > 0 {
+            spec.per_tenant_depth
+        } else {
+            spec.global_depth.max(1)
+        };
+        let wave = (spec.offered_multiplier.max(1) * base * spec.tenants).max(1);
+        let mut mirror: Vec<std::collections::VecDeque<ServiceEventKind>> =
+            vec![std::collections::VecDeque::new(); spec.tenants];
+        let mut batch = service::BatchReport::default();
+        let mut drain_and_record =
+            |svc: &mut TuningService,
+             mirror: &mut Vec<std::collections::VecDeque<ServiceEventKind>>| {
+                batch.absorb(svc.poll());
+                for (t, pending) in mirror.iter_mut().enumerate() {
+                    survivors[t].extend(pending.drain(..));
+                }
+            };
+        for chunk in schedule.chunks(wave) {
+            for &(t, kind) in chunk {
+                match kind {
+                    ServiceEventKind::Query(_) => {
+                        if svc.try_submit(make_event(t, kind)).is_admitted() {
+                            mirror[t].push_back(kind);
+                        }
+                    }
+                    ServiceEventKind::Vote => {
+                        let shed_before = svc.tenant_ingress_stats(tenant_ids[t]).shed;
+                        let outcome = svc.try_submit(make_event(t, kind));
+                        debug_assert!(outcome.is_admitted(), "votes are never rejected");
+                        if svc.tenant_ingress_stats(tenant_ids[t]).shed > shed_before {
+                            let victim = mirror[t]
+                                .iter()
+                                .rposition(|k| matches!(k, ServiceEventKind::Query(_)))
+                                .expect("a shed bump means a query was displaced");
+                            mirror[t].remove(victim);
+                        }
+                        mirror[t].push_back(kind);
+                    }
+                }
+            }
+            drain_and_record(&mut svc, &mut mirror);
+        }
+        batch.absorb(svc.process_pending());
+        for (t, pending) in mirror.iter_mut().enumerate() {
+            survivors[t].extend(pending.drain(..));
+        }
+        batch
+    } else {
+        for &(t, kind) in &schedule {
+            svc.submit(make_event(t, kind));
+            survivors[t].push(kind);
+        }
+        let total_events = svc.pending() as u64;
+        let batch = svc.process_pending();
+        assert_eq!(batch.events, total_events);
+        batch
+    };
+    let trace = ServiceTrace { survivors };
+
+    // Overload accounting must reconcile exactly once the service is
+    // quiescent: everything admitted was either drained or displaced, and
+    // the sessions saw exactly the drained events.
+    let istats = svc.ingress_stats();
+    assert_eq!(istats.pending, 0, "drain loop left events pending");
+    assert_eq!(
+        istats.submitted,
+        istats.drained + istats.shed,
+        "admitted events must all drain or be displaced"
+    );
+    assert_eq!(
+        batch.events, istats.drained,
+        "sessions saw a drained event twice or not at all"
+    );
 
     // Cells: one per (tenant × session), ratios against the tenant's OPT.
     // Checkpoints are shared across cells, so they stop at the shortest
-    // tenant stream; each cell's final `opt_ratio` still covers its
-    // tenant's whole stream.
-    let min_per_tenant = prepared
-        .iter()
-        .map(|p| p.statements.len())
-        .min()
-        .unwrap_or(0);
+    // surviving tenant stream; each cell's final `opt_ratio` still covers
+    // its tenant's whole surviving stream.
+    let processed: Vec<usize> = (0..spec.tenants).map(|t| trace.queries(t)).collect();
+    let min_per_tenant = processed.iter().copied().min().unwrap_or(0);
     let checkpoints = crate::runner::checkpoint_positions(min_per_tenant);
     let mut cells = Vec::with_capacity(spec.tenants * spec.sessions.len());
     for (t, prep) in prepared.iter().enumerate() {
@@ -475,7 +698,7 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
                 query_cost: stats.query_cost,
                 transition_cost: stats.transition_cost,
                 transitions: stats.transitions as usize,
-                opt_ratio: ratio_at(prep.statements.len()),
+                opt_ratio: ratio_at(processed[t]),
                 ratio_series: checkpoints.iter().map(|&n| (n, ratio_at(n))).collect(),
                 whatif_calls: svc.session_whatif_requests(id),
                 repartitions: 0,
@@ -487,6 +710,8 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
         }
     }
 
+    let query_events: u64 = processed.iter().map(|&n| n as u64).sum();
+    let vote_events: u64 = (0..spec.tenants).map(|t| trace.votes(t) as u64).sum();
     let cache = svc.aggregate_cache_stats();
     let ibg = svc.aggregate_ibg_stats();
     let sched = svc.sched_stats();
@@ -496,7 +721,7 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
             .map(|&id| batch.tenant_latency_percentile_us(id, p))
             .collect()
     };
-    RunReport {
+    let report = RunReport {
         scenario: spec.name.clone(),
         seed: spec.seed,
         statements: query_events as usize,
@@ -515,7 +740,7 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
             tenants: spec.tenants,
             sessions: svc.session_count(),
             query_events,
-            vote_events: total_events - query_events,
+            vote_events,
             cache_requests: cache.requests,
             cache_hits: cache.cache_hits,
             cache_hit_rate: cache.hit_rate(),
@@ -529,13 +754,21 @@ pub fn run_service_scenario(spec: &ServiceScenarioSpec) -> RunReport {
             stolen_runs: sched.stolen_runs,
             max_queue_depth: sched.max_queue_depth,
             load_imbalance: sched.max_imbalance,
+            per_tenant_depth: spec.per_tenant_depth,
+            global_depth: spec.global_depth,
+            offered_events: istats.submitted + istats.rejected,
+            shed_events: istats.shed,
+            deferred_events: istats.deferred,
+            rejected_submits: istats.rejected,
+            peak_pending: istats.peak_pending,
             events_per_sec: batch.events_per_sec(),
             latency_p50_us: batch.p50_us(),
             latency_p99_us: batch.p99_us(),
             tenant_latency_p50_us: tenant_percentile(0.50),
             tenant_latency_p99_us: tenant_percentile(0.99),
         }),
-    }
+    };
+    (report, trace)
 }
 
 #[cfg(test)]
@@ -625,6 +858,58 @@ mod tests {
                 .with_ibg_reuse(true),
         );
         assert_eq!(tuned.to_json(), rerun.to_json());
+    }
+
+    #[test]
+    fn bounded_overload_sheds_and_control_replay_is_bit_equal() {
+        let spec = tiny("svc-overload")
+            .with_ingress_depths(2, 6)
+            .with_offered_multiplier(3);
+        let (bounded, trace) = run_service_scenario_traced(&spec);
+        let svc = bounded.service.as_ref().expect("service block present");
+        assert_eq!(svc.per_tenant_depth, 2);
+        assert_eq!(svc.global_depth, 6);
+        assert!(
+            svc.rejected_submits > 0,
+            "offering 3× capacity through depth-2 queues must reject"
+        );
+        // Everything offered is accounted for exactly once.
+        assert_eq!(
+            svc.offered_events,
+            svc.query_events + svc.vote_events + svc.shed_events + svc.rejected_submits
+        );
+        // Pending may exceed the budget only by over-budget deferred votes.
+        assert!(svc.peak_pending <= 6 + svc.deferred_events);
+        // The trace is what the report counted.
+        let traced_queries: u64 = (0..2).map(|t| trace.queries(t) as u64).sum();
+        let traced_votes: u64 = (0..2).map(|t| trace.votes(t) as u64).sum();
+        assert_eq!(traced_queries, svc.query_events);
+        assert_eq!(traced_votes, svc.vote_events);
+
+        // Replaying only the survivors through an unbounded service must
+        // reproduce every cost cell bit-for-bit: shedding happens strictly
+        // at admission, so a shed event never existed for the sessions.
+        let control = run_service_control(&spec, &trace);
+        assert_eq!(control.scenario, "svc-overload-control");
+        let csvc = control.service.as_ref().unwrap();
+        assert_eq!(csvc.shed_events + csvc.rejected_submits, 0);
+        assert_eq!(csvc.query_events, svc.query_events);
+        assert_eq!(bounded.cells.len(), control.cells.len());
+        for (b, c) in bounded.cells.iter().zip(&control.cells) {
+            assert_eq!(b.label, c.label);
+            assert_eq!(
+                b.total_work.to_bits(),
+                c.total_work.to_bits(),
+                "{}",
+                b.label
+            );
+            assert_eq!(b.ratio_series, c.ratio_series, "{}", b.label);
+        }
+
+        // And the bounded run itself replays byte-identically: the shed
+        // choice is a pure function of submission order.
+        let rerun = run_service_scenario(&spec);
+        assert_eq!(bounded.to_json(), rerun.to_json());
     }
 
     #[test]

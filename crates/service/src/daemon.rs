@@ -12,7 +12,7 @@
 use crate::env::{TenantEnv, TenantOptions};
 use crate::event::{Event, SessionId, TenantId};
 use crate::ibg_store::IbgStats;
-use crate::ingress::{Ingress, IngressStats, ServiceHandle};
+use crate::ingress::{Ingress, IngressConfig, IngressStats, ServiceHandle, SubmitOutcome};
 use crate::scheduler::{self, Placement, SchedStats, SchedulerConfig, TenantLoad};
 use simdb::database::Database;
 use simdb::index::IndexSet;
@@ -366,29 +366,56 @@ impl TuningService {
         self.max_workers
     }
 
-    /// Register a tenant with a shared what-if cache over its database.
-    pub fn add_tenant(&mut self, name: impl Into<String>, db: Arc<Database>) -> TenantId {
-        self.register(name, TenantEnv::cached(db))
+    /// Bound the ingress: per-tenant depth limits plus a global budget (see
+    /// [`crate::ingress`] for the admission-gate semantics).  The default
+    /// is unbounded — the historical behaviour.  Must be called before any
+    /// tenant is registered, so every shard sees the limits.
+    ///
+    /// # Panics
+    /// If a tenant is already registered.
+    pub fn with_ingress(mut self, config: IngressConfig) -> Self {
+        assert!(
+            self.tenants.is_empty(),
+            "configure the ingress before registering tenants"
+        );
+        self.ingress = Arc::new(Ingress::with_config(config));
+        self
     }
 
-    /// Register a tenant with explicit cache/IBG-sharing options.
+    /// The admission limits the ingress enforces.
+    pub fn ingress_config(&self) -> IngressConfig {
+        self.ingress.config()
+    }
+
+    /// Register a tenant with a shared what-if cache over its database.
+    pub fn add_tenant(&mut self, name: impl Into<String>, db: Arc<Database>) -> TenantId {
+        self.register(name, TenantEnv::cached(db), None)
+    }
+
+    /// Register a tenant with explicit cache/IBG-sharing/ingress options.
     pub fn add_tenant_with(
         &mut self,
         name: impl Into<String>,
         db: Arc<Database>,
         options: TenantOptions,
     ) -> TenantId {
-        self.register(name, TenantEnv::with_options(db, options))
+        let depth = options.ingress_depth;
+        self.register(name, TenantEnv::with_options(db, options), depth)
     }
 
     /// Register a tenant **without** a shared cache (every what-if request
     /// runs the optimizer) — the control arm for cache-effect studies.
     pub fn add_tenant_uncached(&mut self, name: impl Into<String>, db: Arc<Database>) -> TenantId {
-        self.register(name, TenantEnv::uncached(db))
+        self.register(name, TenantEnv::uncached(db), None)
     }
 
-    fn register(&mut self, name: impl Into<String>, env: TenantEnv) -> TenantId {
-        let shard = self.ingress.add_shard();
+    fn register(
+        &mut self,
+        name: impl Into<String>,
+        env: TenantEnv,
+        ingress_depth: Option<usize>,
+    ) -> TenantId {
+        let shard = self.ingress.add_shard_with(ingress_depth);
         debug_assert_eq!(shard, self.tenants.len(), "shards mirror the registry");
         let id = TenantId(self.tenants.len() as u32);
         self.tenants.push(Tenant {
@@ -442,9 +469,20 @@ impl TuningService {
     /// [`TuningService::poll`] round, in submission order per tenant.
     /// Takes `&self`: submission never blocks on (or is blocked by) a
     /// running drain — use [`TuningService::handle`] to submit from other
-    /// threads.
-    pub fn submit(&self, event: Event) {
-        self.ingress.submit(event);
+    /// threads.  With a bounded ingress ([`TuningService::with_ingress`])
+    /// this parks with backoff until a concurrent drain frees capacity;
+    /// the returned [`SubmitOutcome`] says whether it had to wait.  With
+    /// the default unbounded ingress it never parks and always returns
+    /// [`SubmitOutcome::Accepted`].
+    pub fn submit(&self, event: Event) -> SubmitOutcome {
+        self.ingress.submit(event)
+    }
+
+    /// Offer an event to the admission gate without waiting: queries are
+    /// [`SubmitOutcome::Rejected`] when the tenant shard or the global
+    /// budget is full, votes are always admitted (see [`crate::ingress`]).
+    pub fn try_submit(&self, event: Event) -> SubmitOutcome {
+        self.ingress.try_submit(event)
     }
 
     /// A cloneable, `Send + Sync` submission handle.  Handles stay valid
@@ -460,9 +498,15 @@ impl TuningService {
         self.ingress.pending()
     }
 
-    /// Ingestion counters (events submitted / still pending).
+    /// Ingestion counters (submitted / pending / drained / shed / deferred
+    /// / rejected, plus the global pending high-water mark).
     pub fn ingress_stats(&self) -> IngressStats {
         self.ingress.stats()
+    }
+
+    /// One tenant's ingestion counters (see [`Ingress::tenant_stats`]).
+    pub fn tenant_ingress_stats(&self, tenant: TenantId) -> IngressStats {
+        self.ingress.tenant_stats(tenant)
     }
 
     /// Cumulative scheduler counters (rounds, session-runs, steals, queue

@@ -33,6 +33,11 @@ pub struct TenantOptions {
     /// values let a session added mid-stream warm-start from older tenant
     /// history.  Ignored unless `ibg_reuse` is on.
     pub ibg_keep_generations: u64,
+    /// Per-tenant override of the service's ingress depth limit
+    /// (`IngressConfig::per_tenant_depth`): `None` inherits the service
+    /// default, `Some(0)` makes this tenant's queue unbounded, `Some(n)`
+    /// caps it at `n` pending events (see [`crate::ingress`]).
+    pub ingress_depth: Option<usize>,
 }
 
 impl Default for TenantOptions {
@@ -41,6 +46,7 @@ impl Default for TenantOptions {
             cache: Some(CacheConfig::unbounded()),
             ibg_reuse: false,
             ibg_keep_generations: IbgStore::KEEP_GENERATIONS,
+            ingress_depth: None,
         }
     }
 }
@@ -70,6 +76,14 @@ impl TenantOptions {
     pub fn with_ibg_keep_generations(mut self, keep: u64) -> Self {
         self.ibg_reuse = true;
         self.ibg_keep_generations = keep;
+        self
+    }
+
+    /// Cap this tenant's ingress queue at `depth` pending events, overriding
+    /// the service-wide `IngressConfig::per_tenant_depth` (0 = unbounded for
+    /// this tenant).
+    pub fn with_ingress_depth(mut self, depth: usize) -> Self {
+        self.ingress_depth = Some(depth);
         self
     }
 }

@@ -71,6 +71,20 @@ impl Event {
             Event::Query { tenant, .. } | Event::Vote { tenant, .. } => *tenant,
         }
     }
+
+    /// Whether the admission gate may drop this event under overload.
+    /// Queries are sheddable — a replayed workload statement can be lost
+    /// without violating any contract; votes are high-priority DBA feedback
+    /// and are **never** shed (see [`crate::ingress`]).
+    pub fn is_sheddable(&self) -> bool {
+        matches!(self, Event::Query { .. })
+    }
+
+    /// The complement of [`Event::is_sheddable`]: votes outrank queries at
+    /// the admission gate.
+    pub fn is_high_priority(&self) -> bool {
+        !self.is_sheddable()
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +97,12 @@ mod tests {
         let vote = Event::vote(t, IndexSet::empty(), IndexSet::empty());
         assert_eq!(vote.tenant(), t);
         assert_eq!(SessionId::new(t, 1).tenant, t);
+    }
+
+    #[test]
+    fn votes_outrank_queries() {
+        let vote = Event::vote(TenantId(0), IndexSet::empty(), IndexSet::empty());
+        assert!(!vote.is_sheddable());
+        assert!(vote.is_high_priority());
     }
 }

@@ -27,6 +27,15 @@
 //!   loops rounds until empty); with [`TuningService::with_batch_size`]
 //!   runs of consecutive queries are coalesced and processed session-major
 //!   against one warmed cache generation (votes always close a batch);
+//!   with [`TuningService::with_ingress`] the ingress is **bounded**
+//!   ([`IngressConfig`]): an admission gate enforces per-tenant and global
+//!   depth budgets, [`TuningService::try_submit`] reports
+//!   [`SubmitOutcome::Accepted`]/[`SubmitOutcome::Rejected`]/
+//!   [`SubmitOutcome::Deferred`] per event, blocking `submit` parks the
+//!   producer instead of growing memory, votes are never shed (at a full
+//!   shard they displace the newest queued query), and the
+//!   shed/defer/reject ledger ([`IngressStats`]) is a pure function of
+//!   submission order;
 //! * a **work-stealing scheduler** ([`scheduler`], opt-in via
 //!   [`TuningService::with_steal`]) — each drain round plans worker bins
 //!   from the queue-depth snapshot, and a worker that would idle takes
@@ -99,5 +108,7 @@ pub use daemon::{BatchReport, ServiceSession, TuningService};
 pub use env::{TenantEnv, TenantOptions};
 pub use event::{Event, SessionId, TenantId};
 pub use ibg_store::{IbgStats, IbgStore};
-pub use ingress::{Ingress, IngressStats, ServiceHandle};
+pub use ingress::{
+    Ingress, IngressConfig, IngressStats, RejectReason, ServiceHandle, SubmitOutcome,
+};
 pub use scheduler::{SchedStats, SchedulePlan, SchedulerConfig};

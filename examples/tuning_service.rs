@@ -12,13 +12,18 @@
 //! submitting events through a cloned `ServiceHandle` while the main thread
 //! polls drain rounds — submission is never blocked by a running drain.
 //!
+//! The third act demonstrates **admission control**: a deliberately tiny
+//! bounded ingress is flooded through `try_submit` until it sheds — memory
+//! stays at the configured budget, queries are turned away with a named
+//! reason, and the DBA's votes always cut the line.
+//!
 //! Run with `cargo run --release --example tuning_service`.
 
 use std::sync::Arc;
 
 use wfit::core::candidates::offline_selection;
 use wfit::core::IndexAdvisor;
-use wfit::service::{Event, SessionId, TenantOptions, TuningService};
+use wfit::service::{Event, IngressConfig, SessionId, SubmitOutcome, TenantOptions, TuningService};
 use wfit::workload::{Benchmark, BenchmarkSpec};
 use wfit::{IndexSet, Wfit, WfitConfig};
 
@@ -184,4 +189,62 @@ fn main() {
             service.recommendation(SessionId::new(*tenant, 0)).len()
         );
     }
+
+    // Act three — the admission gate under overload.  A deliberately tiny
+    // bounded service: 8 pending events per tenant, 24 across the service.
+    // Flooding it through `try_submit` overruns the gate by design: most
+    // queries are turned away with a named reason, pending memory never
+    // exceeds the budget, and the DBA's votes are admitted every time —
+    // displacing the newest queued query when their shard is full.
+    println!();
+    println!("overload act: bounded ingress (depth 8/tenant, 24 global)…");
+    let mut bounded = TuningService::with_workers(2)
+        .with_batch_size(BATCH_SIZE)
+        .with_ingress(IngressConfig::bounded(8, 24));
+    let mut flood = Vec::new();
+    for t in 0..2 {
+        let bench = Benchmark::generate(BenchmarkSpec {
+            statements_per_phase: STATEMENTS_PER_PHASE,
+            seed: 0x0DD_10AD ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            phases: wfit::workload::default_phases(),
+        });
+        let Benchmark { db, statements, .. } = bench;
+        let tenant = bounded.add_tenant_with(
+            format!("bounded-{t}"),
+            Arc::new(db),
+            TenantOptions::default().with_cache_capacity(CACHE_CAPACITY),
+        );
+        bounded.add_session(tenant, "wfit", |env| {
+            Box::new(Wfit::new(env, WfitConfig::default())) as Box<dyn IndexAdvisor + Send>
+        });
+        flood.push((tenant, statements));
+    }
+    let (mut accepted, mut rejected, mut deferred) = (0u64, 0u64, 0u64);
+    for _wave in 0..6 {
+        for (tenant, statements) in &flood {
+            for statement in statements {
+                match bounded.try_submit(Event::query(*tenant, Arc::new(statement.clone()))) {
+                    SubmitOutcome::Accepted => accepted += 1,
+                    SubmitOutcome::Rejected { .. } => rejected += 1,
+                    SubmitOutcome::Deferred => deferred += 1,
+                }
+            }
+            // The DBA's vote cuts the line: never rejected, never shed.
+            let vote = Event::vote(*tenant, IndexSet::empty(), IndexSet::empty());
+            assert!(bounded.try_submit(vote).is_admitted());
+        }
+        bounded.poll();
+    }
+    bounded.process_pending();
+    let gate = bounded.ingress_stats();
+    println!(
+        "  query outcomes: {accepted} accepted, {rejected} rejected, {deferred} deferred \
+         (shed rate {:.3})",
+        (gate.shed + gate.rejected) as f64 / (gate.submitted + gate.rejected).max(1) as f64,
+    );
+    println!(
+        "  gate ledger: {} submitted = {} drained + {} shed + {} pending; \
+         {} votes deferred; peak pending {} (budget 24)",
+        gate.submitted, gate.drained, gate.shed, gate.pending, gate.deferred, gate.peak_pending,
+    );
 }

@@ -575,3 +575,214 @@ mod simdb_properties {
         }
     }
 }
+
+/// Admission-gate (backpressure) properties of the bounded service ingress.
+///
+/// Model-based: every generated interleaving of query/vote submissions and
+/// drains is driven through a fresh bounded [`Ingress`] while a parallel
+/// model implements the *documented spec* (tenant-cap check, then global
+/// budget; votes displace the newest sheddable event of their own shard,
+/// and go over budget as `deferred` only when nothing is sheddable).  Every
+/// outcome, every queue, and every counter must match the model at every
+/// step — and a full replay of the same submission order must produce
+/// bit-equal counters, because shed choice is a pure function of submission
+/// order.
+mod ingress_properties {
+    use super::*;
+    use simdb::catalog::CatalogBuilder;
+    use simdb::database::Database;
+    use simdb::types::DataType;
+    use std::sync::Arc;
+    use wfit::service::{
+        Event, Ingress, IngressConfig, IngressStats, RejectReason, SubmitOutcome, TenantId,
+    };
+
+    const TENANTS: usize = 3;
+
+    fn statement() -> Arc<simdb::query::Statement> {
+        let mut b = CatalogBuilder::new();
+        b.table("t")
+            .rows(1000.0)
+            .column("a", DataType::Integer, 100.0)
+            .finish();
+        let db = Database::new(b.build());
+        Arc::new(db.parse("SELECT a FROM t WHERE a = 1").unwrap())
+    }
+
+    /// One decoded submission-order entry.
+    #[derive(Clone, Copy)]
+    enum Op {
+        Query(u32),
+        Vote(u32),
+        Drain,
+    }
+
+    /// Pure decode of the generated op stream: 6/8 queries, 1/8 votes,
+    /// 1/8 drains, tenants round-robin by value.
+    fn decode(raw: &[usize]) -> Vec<Op> {
+        raw.iter()
+            .map(|&op| {
+                let tenant = (op % TENANTS) as u32;
+                match (op / TENANTS) % 8 {
+                    0..=5 => Op::Query(tenant),
+                    6 => Op::Vote(tenant),
+                    _ => Op::Drain,
+                }
+            })
+            .collect()
+    }
+
+    /// Drive a fresh bounded ingress through `ops` single-threaded, checking
+    /// every outcome, queue and counter against the spec model at every
+    /// step, and return the final stats.
+    fn drive(per_tenant: usize, global: usize, ops: &[Op]) -> IngressStats {
+        let stmt = statement();
+        let ingress = Ingress::with_config(IngressConfig::bounded(per_tenant, global));
+        for _ in 0..TENANTS {
+            ingress.add_shard();
+        }
+        // Spec model: per-tenant queues of `is_vote` flags plus the ledger.
+        let mut queues: Vec<Vec<bool>> = vec![Vec::new(); TENANTS];
+        let (mut submitted, mut drained, mut shed, mut deferred, mut rejected) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let (mut votes_in, mut votes_out) = (0u64, 0u64);
+        for op in ops {
+            match *op {
+                Op::Query(t) => {
+                    let ti = t as usize;
+                    let tenant_full = per_tenant > 0 && queues[ti].len() >= per_tenant;
+                    let global_len: usize = queues.iter().map(Vec::len).sum();
+                    let global_full = global > 0 && global_len >= global;
+                    let outcome = ingress.try_submit(Event::query(TenantId(t), stmt.clone()));
+                    if tenant_full {
+                        assert_eq!(
+                            outcome,
+                            SubmitOutcome::Rejected {
+                                reason: RejectReason::TenantFull
+                            }
+                        );
+                        rejected += 1;
+                    } else if global_full {
+                        assert_eq!(
+                            outcome,
+                            SubmitOutcome::Rejected {
+                                reason: RejectReason::GlobalFull
+                            }
+                        );
+                        rejected += 1;
+                    } else {
+                        assert_eq!(outcome, SubmitOutcome::Accepted);
+                        queues[ti].push(false);
+                        submitted += 1;
+                    }
+                }
+                Op::Vote(t) => {
+                    let ti = t as usize;
+                    let tenant_full = per_tenant > 0 && queues[ti].len() >= per_tenant;
+                    let global_len: usize = queues.iter().map(Vec::len).sum();
+                    let global_ok = global == 0 || global_len < global;
+                    let outcome = ingress.try_submit(Event::vote(
+                        TenantId(t),
+                        IndexSet::empty(),
+                        IndexSet::empty(),
+                    ));
+                    votes_in += 1;
+                    submitted += 1;
+                    if !tenant_full && global_ok {
+                        assert_eq!(outcome, SubmitOutcome::Accepted);
+                        queues[ti].push(true);
+                    } else if let Some(victim) = queues[ti].iter().rposition(|is_vote| !is_vote) {
+                        // Displacement: the newest sheddable event of the
+                        // vote's own shard is shed, net length unchanged.
+                        assert_eq!(outcome, SubmitOutcome::Accepted);
+                        queues[ti].remove(victim);
+                        queues[ti].push(true);
+                        shed += 1;
+                    } else {
+                        // Nothing sheddable: over budget, counted deferred.
+                        assert_eq!(outcome, SubmitOutcome::Deferred);
+                        queues[ti].push(true);
+                        deferred += 1;
+                    }
+                }
+                Op::Drain => {
+                    for (ti, run) in ingress.drain_all().into_iter().enumerate() {
+                        // The drained run is exactly the model queue, in
+                        // FIFO order, vote/query kinds included.
+                        assert_eq!(run.len(), queues[ti].len());
+                        for (event, &is_vote) in run.iter().zip(&queues[ti]) {
+                            assert_eq!(!event.is_sheddable(), is_vote);
+                        }
+                        votes_out += queues[ti].iter().filter(|v| **v).count() as u64;
+                        drained += run.len() as u64;
+                        queues[ti].clear();
+                    }
+                }
+            }
+            // Step invariants.  The sheddable portion of every queue
+            // respects the caps *unconditionally*; whole queues respect
+            // them whenever no vote ever went over budget.
+            let global_len: usize = queues.iter().map(Vec::len).sum();
+            assert_eq!(ingress.pending(), global_len);
+            if per_tenant > 0 {
+                for q in &queues {
+                    assert!(q.iter().filter(|v| !**v).count() <= per_tenant);
+                    if deferred == 0 {
+                        assert!(q.len() <= per_tenant);
+                    }
+                }
+            }
+            if global > 0 {
+                let sheddable: usize = queues
+                    .iter()
+                    .map(|q| q.iter().filter(|v| !**v).count())
+                    .sum();
+                assert!(sheddable <= global);
+                if deferred == 0 {
+                    assert!(global_len <= global);
+                }
+            }
+        }
+        let stats = ingress.stats();
+        assert_eq!(stats.submitted, submitted);
+        assert_eq!(stats.drained, drained);
+        assert_eq!(stats.shed, shed, "only queries are ever shed");
+        assert_eq!(stats.deferred, deferred);
+        assert_eq!(stats.rejected, rejected);
+        assert_eq!(
+            stats.pending as usize,
+            queues.iter().map(Vec::len).sum::<usize>()
+        );
+        assert_eq!(stats.pending, stats.submitted - stats.drained - stats.shed);
+        // Votes are never shed: every vote submitted was drained or is
+        // still pending.
+        let votes_pending: u64 = queues
+            .iter()
+            .map(|q| q.iter().filter(|v| **v).count() as u64)
+            .sum();
+        assert_eq!(votes_in, votes_out + votes_pending);
+        stats
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Tentpole invariants, for any interleaving over any caps:
+        /// pending depth never exceeds `per_tenant_depth`/`global_depth`
+        /// (beyond the documented over-budget-vote exception), votes are
+        /// never shed, outcomes match the spec model step by step — and a
+        /// replay of the same submission order yields bit-equal counters
+        /// (shed choice is a pure function of submission order).
+        #[test]
+        fn admission_gate_matches_the_spec_model_and_replays_bit_equal(
+            per_tenant in 0usize..6,
+            global in 0usize..12,
+            raw in proptest::collection::vec(0usize..(TENANTS * 8), 160),
+        ) {
+            let ops = decode(&raw);
+            let first = drive(per_tenant, global, &ops);
+            let second = drive(per_tenant, global, &ops);
+            prop_assert_eq!(first, second);
+        }
+    }
+}

@@ -18,7 +18,10 @@
 //! Every run also writes the reports (including wall-clock timing) to
 //! `target/scenario-reports/` so CI can upload them as a build artifact.
 
-use harness::{run_scenario, run_service_scenario, scenarios, RunReport, ScenarioSpec};
+use harness::{
+    run_scenario, run_service_control, run_service_scenario, run_service_scenario_traced,
+    scenarios, RunReport, ScenarioSpec,
+};
 use std::fs;
 use std::path::PathBuf;
 
@@ -264,6 +267,70 @@ fn service_skew_mini_matches_golden() {
     assert_eq!(report.to_json(), rerun.to_json());
 }
 
+#[test]
+fn service_overload_mini_matches_golden() {
+    let spec = scenarios::service_overload_mini();
+    let (report, trace) = run_service_scenario_traced(&spec);
+    let report = check_report_against_golden(&spec.name.clone(), report);
+    assert_eq!(report.cells.len(), 3 * 2, "3 tenants × 2 sessions");
+    let service = report.service.as_ref().expect("service summary present");
+    assert_eq!(service.per_tenant_depth, scenarios::OVERLOAD_MINI_DEPTH);
+    assert_eq!(service.global_depth, scenarios::OVERLOAD_MINI_GLOBAL);
+    // The whole point of the scenario: offered load exceeds what the bounds
+    // admit, so the gate must reject overflow queries, and scheduled votes
+    // landing on full queues must displace (shed) queued queries.
+    assert!(
+        service.rejected_submits > 0,
+        "4× overload must reject: {service:?}"
+    );
+    assert!(
+        service.shed_events > 0,
+        "votes on full queues must displace queries: {service:?}"
+    );
+    // Bounded memory: pending never exceeded the global budget except by
+    // over-budget deferred votes (votes are never shed or rejected).
+    assert!(
+        service.peak_pending <= (scenarios::OVERLOAD_MINI_GLOBAL as u64) + service.deferred_events,
+        "peak {} exceeds budget {} + deferred {}",
+        service.peak_pending,
+        scenarios::OVERLOAD_MINI_GLOBAL,
+        service.deferred_events
+    );
+    // Conservation: every offered event is drained, shed or rejected.
+    assert_eq!(
+        service.offered_events,
+        service.query_events + service.vote_events + service.shed_events + service.rejected_submits
+    );
+
+    // Survivor-equality: replaying only the admitted events through an
+    // unbounded service reproduces every cost cell bit-for-bit — shedding
+    // happens strictly at admission, so a shed event never existed as far
+    // as the tuning sessions are concerned.
+    let control = run_service_control(&spec, &trace);
+    assert_eq!(control.cells.len(), report.cells.len());
+    for (b, c) in report.cells.iter().zip(&control.cells) {
+        assert_eq!(b.label, c.label);
+        assert_eq!(
+            b.total_work.to_bits(),
+            c.total_work.to_bits(),
+            "{}: bounded run and un-shed control replay must agree exactly",
+            b.label
+        );
+        assert_eq!(b.ratio_series, c.ratio_series, "{}", b.label);
+        assert_eq!(b.transitions, c.transitions, "{}", b.label);
+    }
+    let control_svc = control.service.as_ref().unwrap();
+    assert_eq!(control_svc.shed_events, 0, "the control arm never sheds");
+    assert_eq!(control_svc.rejected_submits, 0);
+    assert_eq!(control_svc.query_events, service.query_events);
+    assert_eq!(control_svc.vote_events, service.vote_events);
+
+    // Determinism: shed choice is a pure function of submission order, so a
+    // rerun renders byte-identical deterministic JSON.
+    let rerun = run_service_scenario(&spec);
+    assert_eq!(report.to_json(), rerun.to_json());
+}
+
 /// Scheduler equivalence, satellite of the work-stealing PR: stealing (or
 /// dialing workers up/down) may change only steal/queue metrics and
 /// timing-dependent overhead counters — session state, and with it every
@@ -356,10 +423,14 @@ fn service_replay_is_deterministic_for_identical_seeds() {
 /// held to the same rule: they may appear only in bench `main`s, never in
 /// library code, where the equivalent setting is an explicit spec field
 /// (`ServiceScenarioSpec::{cache_capacity, batch_size, ibg_reuse, tenants,
-/// workers, steal, skew}`).
+/// workers, steal, skew}`).  The overload knobs (`WFIT_DEPTH`,
+/// `WFIT_OFFERED`, soak scaling via `WFIT_SOAK`) follow suit: library code
+/// takes `ServiceScenarioSpec::{per_tenant_depth, global_depth,
+/// offered_multiplier}` / `service::IngressConfig`, and only the bench and
+/// soak-test entry points read the environment.
 #[test]
 fn harness_and_service_never_read_env_vars() {
-    const KNOB_NAMES: [&str; 8] = [
+    const KNOB_NAMES: [&str; 11] = [
         "WFIT_PHASE_LEN",
         "WFIT_CACHE_CAP",
         "WFIT_BATCH",
@@ -368,6 +439,9 @@ fn harness_and_service_never_read_env_vars() {
         "WFIT_WORKERS",
         "WFIT_STEAL",
         "WFIT_SKEW",
+        "WFIT_DEPTH",
+        "WFIT_OFFERED",
+        "WFIT_SOAK",
     ];
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();
