@@ -27,6 +27,9 @@
 //!   unbounded); turns the admission gate on
 //! * `WFIT_OFFERED`   — offered-load multiplier per submission wave under a
 //!   bounded ingress (default 1; >1 overloads the gate so queries shed)
+//! * `WFIT_PERSIST`   — attach durable persistence (default 0): every drain
+//!   round is WAL-logged and the run snapshots periodically, measuring the
+//!   logging overhead against the in-memory replay; unbounded shape only
 //!
 //! The acceptance experiment for the work-stealing scheduler:
 //!
@@ -64,7 +67,8 @@ fn main() {
         .with_steal(env_usize("WFIT_STEAL", 0) != 0)
         .with_skew(env_usize("WFIT_SKEW", 1))
         .with_ingress_depths(env_usize("WFIT_DEPTH", 0), 0)
-        .with_offered_multiplier(env_usize("WFIT_OFFERED", 1));
+        .with_offered_multiplier(env_usize("WFIT_OFFERED", 1))
+        .with_persist(env_usize("WFIT_PERSIST", 0) != 0);
     let tenants = spec.tenants;
     let cap = match spec.cache_capacity {
         0 => "unbounded".to_string(),
@@ -137,6 +141,12 @@ fn main() {
         service.deferred_events,
         turned_away as f64 / service.offered_events.max(1) as f64,
     );
+    if service.persist {
+        println!(
+            "persistence     {:>12} WAL rounds logged (snapshot + WAL attached)",
+            service.wal_rounds,
+        );
+    }
     println!(
         "peak pending    {:>12} events (memory high-water mark; depth {}/tenant, {} global)",
         service.peak_pending,

@@ -60,6 +60,7 @@ pub mod candidates;
 pub mod config;
 pub mod env;
 pub mod evaluator;
+pub mod json;
 pub mod session;
 pub mod wfa;
 pub mod wfa_plus;

@@ -1,561 +1,9 @@
-//! A minimal JSON document model with a writer and parser.
+//! Re-export of the workspace JSON codec.
 //!
-//! The workspace builds offline against vendored dependency stubs (the
-//! `serde` stub's derives are no-ops — see `vendor/README.md`), so the
-//! harness carries its own small JSON implementation.  Two properties matter
-//! for golden-run regression testing and are guaranteed here:
-//!
-//! * **Deterministic output** — objects keep insertion order (they are stored
-//!   as vectors, not hash maps), and numbers are written with Rust's
-//!   shortest-roundtrip float formatting, so the same report always renders
-//!   to the same bytes.
-//! * **Lossless round-trip** — `parse(render(v)) == v` for every value the
-//!   harness produces.
+//! The writer/parser used for golden-run regression files historically lived
+//! here; it was promoted to [`wfit_core::json`] so the service's durable
+//! snapshot/WAL codec (`service::persist`) can share the exact same
+//! deterministic, lossless, non-finite-rejecting implementation without a
+//! dependency cycle.  This module keeps the `harness::json::*` paths alive.
 
-use std::fmt::Write as _;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number (JSON does not distinguish integers from floats).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; insertion order is preserved.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Shorthand for building an object.
-    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
-        Json::Obj(
-            fields
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
-    }
-
-    /// Look up a field of an object.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a number, if it is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a string, if it is one.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an array, if it is one.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Render the value as pretty-printed JSON (2-space indent, `\n` line
-    /// endings, trailing newline) — the golden-file format.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Num(n) => write_number(out, *n),
-            Json::Str(s) => write_string(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                // Arrays of scalars stay on one line; arrays of containers
-                // get one element per line.
-                let nested = items
-                    .iter()
-                    .any(|i| matches!(i, Json::Arr(_) | Json::Obj(_)));
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    if nested {
-                        out.push('\n');
-                        push_indent(out, indent + 1);
-                    } else if i > 0 {
-                        out.push(' ');
-                    }
-                    item.write(out, indent + 1);
-                }
-                if nested {
-                    out.push('\n');
-                    push_indent(out, indent);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    write_string(out, key);
-                    out.push_str(": ");
-                    value.write(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parse a JSON document.
-    pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after document"));
-        }
-        Ok(value)
-    }
-}
-
-fn push_indent(out: &mut String, indent: usize) {
-    for _ in 0..indent {
-        out.push_str("  ");
-    }
-}
-
-fn write_number(out: &mut String, n: f64) {
-    if !n.is_finite() {
-        // JSON has no NaN/Inf; the harness never produces them, but render
-        // something parseable rather than panicking.
-        out.push_str("null");
-    } else if n == n.trunc() && n.abs() < 9.0e15 {
-        let _ = write!(out, "{}", n as i64);
-    } else {
-        // `{}` on f64 is the shortest representation that round-trips.
-        let _ = write!(out, "{n}");
-    }
-}
-
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// A JSON parse error with a byte offset.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the error in the input.
-    pub offset: usize,
-    /// Human-readable description.
-    pub message: String,
-}
-
-impl std::fmt::Display for JsonError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, message: &str) -> JsonError {
-        JsonError {
-            offset: self.pos,
-            message: message.to_string(),
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", byte as char)))
-        }
-    }
-
-    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected '{lit}'")))
-        }
-    }
-
-    /// Consume the four hex digits of a `\u` escape (cursor on the `u`) and
-    /// return the code unit; leaves the cursor on the last digit.
-    fn hex_escape(&mut self) -> Result<u32, JsonError> {
-        if self.pos + 5 > self.bytes.len() {
-            return Err(self.err("truncated \\u escape"));
-        }
-        let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-            .map_err(|_| self.err("invalid \\u escape"))?;
-        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
-        self.pos += 4;
-        Ok(code)
-    }
-
-    fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(self.err("expected a JSON value")),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let code = self.hex_escape()?;
-                            let c = if (0xD800..0xDC00).contains(&code) {
-                                // High surrogate: a \u low surrogate must
-                                // follow (standard JSON escaping of non-BMP
-                                // characters).
-                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
-                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
-                                {
-                                    return Err(self.err("unpaired high surrogate"));
-                                }
-                                // Land on the low escape's `u` (the cursor is
-                                // on the high escape's last hex digit).
-                                self.pos += 2;
-                                let low = self.hex_escape()?;
-                                if !(0xDC00..0xE000).contains(&low) {
-                                    return Err(self.err("invalid low surrogate"));
-                                }
-                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                char::from_u32(combined)
-                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
-                            } else {
-                                char::from_u32(code).ok_or_else(|| self.err("invalid codepoint"))?
-                            };
-                            out.push(c);
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
-    }
-}
-
-/// Compare two JSON documents structurally, allowing numeric fields to differ
-/// within a relative tolerance (plus a small absolute floor for values near
-/// zero).  Returns the list of human-readable differences; empty means the
-/// documents match.
-pub fn diff_with_tolerance(expected: &Json, actual: &Json, rel_tol: f64) -> Vec<String> {
-    let mut diffs = Vec::new();
-    diff_inner(expected, actual, rel_tol, "$", &mut diffs);
-    diffs
-}
-
-fn diff_inner(expected: &Json, actual: &Json, rel_tol: f64, path: &str, diffs: &mut Vec<String>) {
-    match (expected, actual) {
-        (Json::Num(e), Json::Num(a)) => {
-            let tol = rel_tol * e.abs().max(a.abs()) + 1e-9;
-            if (e - a).abs() > tol {
-                diffs.push(format!("{path}: expected {e}, got {a}"));
-            }
-        }
-        (Json::Arr(e), Json::Arr(a)) => {
-            if e.len() != a.len() {
-                diffs.push(format!(
-                    "{path}: array length mismatch (expected {}, got {})",
-                    e.len(),
-                    a.len()
-                ));
-                return;
-            }
-            for (i, (ev, av)) in e.iter().zip(a.iter()).enumerate() {
-                diff_inner(ev, av, rel_tol, &format!("{path}[{i}]"), diffs);
-            }
-        }
-        (Json::Obj(e), Json::Obj(a)) => {
-            for (key, ev) in e {
-                match a.iter().find(|(k, _)| k == key) {
-                    Some((_, av)) => diff_inner(ev, av, rel_tol, &format!("{path}.{key}"), diffs),
-                    None => diffs.push(format!("{path}.{key}: missing in actual")),
-                }
-            }
-            for (key, _) in a {
-                if !e.iter().any(|(k, _)| k == key) {
-                    diffs.push(format!("{path}.{key}: unexpected in actual"));
-                }
-            }
-        }
-        (e, a) if e == a => {}
-        (e, a) => diffs.push(format!("{path}: expected {e:?}, got {a:?}")),
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample() -> Json {
-        Json::obj(vec![
-            ("name", Json::Str("fig8-mini".into())),
-            ("total", Json::Num(12345.6789)),
-            ("count", Json::Num(48.0)),
-            ("flags", Json::Arr(vec![Json::Bool(true), Json::Null])),
-            (
-                "cells",
-                Json::Arr(vec![Json::obj(vec![
-                    ("label", Json::Str("WFIT \"quoted\"\n".into())),
-                    ("series", Json::Arr(vec![Json::Num(1.0), Json::Num(0.25)])),
-                ])]),
-            ),
-        ])
-    }
-
-    #[test]
-    fn render_parse_round_trip() {
-        let v = sample();
-        let text = v.render();
-        let parsed = Json::parse(&text).expect("round trip parses");
-        assert_eq!(parsed, v);
-    }
-
-    #[test]
-    fn render_is_deterministic() {
-        assert_eq!(sample().render(), sample().render());
-    }
-
-    #[test]
-    fn parse_handles_whitespace_and_escapes() {
-        let v = Json::parse(" { \"a\" : [ 1 , -2.5e3 , \"x\\u0041\" ] } ").unwrap();
-        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1], Json::Num(-2500.0));
-        assert_eq!(
-            v.get("a").unwrap().as_arr().unwrap()[2],
-            Json::Str("xA".into())
-        );
-    }
-
-    #[test]
-    fn parse_rejects_garbage() {
-        assert!(Json::parse("{\"a\": }").is_err());
-        assert!(Json::parse("[1, 2").is_err());
-        assert!(Json::parse("true false").is_err());
-        assert!(Json::parse("").is_err());
-    }
-
-    #[test]
-    fn tolerant_diff_accepts_small_numeric_drift() {
-        let a = Json::parse("{\"x\": 1000.0, \"y\": [1, 2]}").unwrap();
-        let b = Json::parse("{\"x\": 1000.0000001, \"y\": [1, 2]}").unwrap();
-        assert!(diff_with_tolerance(&a, &b, 1e-6).is_empty());
-        let c = Json::parse("{\"x\": 1001.0, \"y\": [1, 2]}").unwrap();
-        assert!(!diff_with_tolerance(&a, &c, 1e-6).is_empty());
-    }
-
-    #[test]
-    fn tolerant_diff_reports_structural_differences() {
-        let a = Json::parse("{\"x\": 1, \"y\": \"a\"}").unwrap();
-        let b = Json::parse("{\"x\": [1], \"z\": \"a\"}").unwrap();
-        let diffs = diff_with_tolerance(&a, &b, 1e-6);
-        assert!(diffs.iter().any(|d| d.contains("$.x")));
-        assert!(diffs.iter().any(|d| d.contains("$.y: missing")));
-        assert!(diffs.iter().any(|d| d.contains("$.z: unexpected")));
-    }
-
-    #[test]
-    fn parse_handles_surrogate_pairs() {
-        // "\ud83d\ude00" is U+1F600 as escaped by ensure_ascii JSON tools.
-        let v = Json::parse("\"\\ud83d\\ude00\"").unwrap();
-        assert_eq!(v, Json::Str("\u{1F600}".into()));
-        // Unpaired or malformed surrogates are rejected, not mis-decoded.
-        assert!(Json::parse("\"\\ud83d\"").is_err());
-        assert!(Json::parse("\"\\ud83dx\"").is_err());
-        assert!(Json::parse("\"\\ud83d\\u0041\"").is_err());
-    }
-
-    #[test]
-    fn integers_render_without_fraction() {
-        assert_eq!(Json::Num(42.0).render(), "42\n");
-        assert_eq!(Json::Num(-0.5).render(), "-0.5\n");
-    }
-}
+pub use wfit_core::json::{diff_with_tolerance, Json, JsonError};

@@ -150,6 +150,15 @@ pub struct ServiceSummary {
     /// High-water mark of the global pending count — the memory bound the
     /// admission gate enforced (≤ the caps except for deferred votes).
     pub peak_pending: u64,
+    /// Whether the run was replayed with durable persistence (snapshot +
+    /// WAL) attached.  Deterministic: a crash-and-restore run and the
+    /// uninterrupted run render the same value.
+    pub persist: bool,
+    /// Drain rounds recorded in the event WAL by the end of the run (0 with
+    /// persistence off).  Restore replays logged rounds and keeps appending
+    /// to the same log, so this total is identical whether or not the run
+    /// was interrupted — which is what lets it live in the golden files.
+    pub wal_rounds: u64,
     /// Events processed per wall-clock second (timing JSON only).
     pub events_per_sec: f64,
     /// Median per-event latency in microseconds (timing JSON only).
@@ -192,6 +201,8 @@ impl ServiceSummary {
             ("deferred_events", Json::Num(self.deferred_events as f64)),
             ("rejected_submits", Json::Num(self.rejected_submits as f64)),
             ("peak_pending", Json::Num(self.peak_pending as f64)),
+            ("persist", Json::Bool(self.persist)),
+            ("wal_rounds", Json::Num(self.wal_rounds as f64)),
         ];
         if with_timing {
             let latencies = |samples: &[u64]| {
@@ -241,14 +252,22 @@ pub struct RunReport {
 impl RunReport {
     /// Deterministic JSON rendering (timing excluded) — the golden-file
     /// format.  Identical seeds produce identical strings.
+    ///
+    /// Panics if a metric is non-finite: the JSON writer rejects NaN/Inf on
+    /// the write path (silent placeholders would corrupt golden files), and
+    /// a non-finite metric is always a harness bug worth failing loudly on.
     pub fn to_json(&self) -> String {
-        self.json_value(false).render()
+        self.json_value(false)
+            .render()
+            .expect("run report contains a non-finite metric")
     }
 
     /// JSON rendering including per-cell wall-clock timing (for CI
     /// artifacts and overhead studies; NOT stable across runs).
     pub fn to_json_with_timing(&self) -> String {
-        self.json_value(true).render()
+        self.json_value(true)
+            .render()
+            .expect("run report contains a non-finite metric")
     }
 
     fn json_value(&self, with_timing: bool) -> Json {
@@ -380,6 +399,8 @@ mod tests {
             deferred_events: 1,
             rejected_submits: 14,
             peak_pending: 20,
+            persist: true,
+            wal_rounds: 17,
             events_per_sec: 123.4,
             latency_p50_us: 10,
             latency_p99_us: 50,
@@ -397,6 +418,9 @@ mod tests {
         // belong to the golden rendering too.
         assert!(stable.contains("shed_events") && stable.contains("rejected_submits"));
         assert!(stable.contains("peak_pending") && stable.contains("per_tenant_depth"));
+        // Persistence counters are deterministic (the WAL-round total is the
+        // same whether or not the run was interrupted mid-way).
+        assert!(stable.contains("\"persist\": true") && stable.contains("wal_rounds"));
         // Wall-clock service metrics never reach the golden-file rendering.
         assert!(!stable.contains("events_per_sec"));
         assert!(!stable.contains("latency_p99_us"));

@@ -314,6 +314,31 @@ pub fn service_overload_mini() -> ServiceScenarioSpec {
         .with_offered_multiplier(OVERLOAD_MINI_OFFERED)
 }
 
+/// Kill-and-restore point of the crash arm of [`service_restore_mini`]: the
+/// service dies before submitting wave 4, i.e. with a snapshot from wave 3
+/// *and* one logged-but-unsnapshotted WAL round behind it — restore must
+/// exercise both the snapshot and the WAL tail.
+pub const RESTORE_MINI_CRASH_WAVE: usize = 4;
+
+/// Miniature *durable* scenario for the golden suite: two tenants with a
+/// WFIT-500 / BC fleet replay the [`MINI_PHASE_LEN`] workload in persistent
+/// waves (one WAL record per drain round, a snapshot every
+/// [`crate::service_run::PERSIST_SNAPSHOT_EVERY`] waves).  The golden
+/// snapshot is produced by the uninterrupted run; `tests/scenarios.rs`
+/// additionally replays the same spec with a kill-and-restore at
+/// [`RESTORE_MINI_CRASH_WAVE`] and asserts the recovered run renders the
+/// byte-identical report — cost cells, cache counters, WAL-round total and
+/// all.
+pub fn service_restore_mini() -> ServiceScenarioSpec {
+    ServiceScenarioSpec::new("service-restore-mini", 2, MINI_PHASE_LEN)
+        .with_sessions(vec![
+            ServiceSessionSpec::WfitFixed { state_cnt: 500 },
+            ServiceSessionSpec::Bc,
+        ])
+        .with_feedback_every(6)
+        .with_persist(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,5 +440,36 @@ mod tests {
         assert!(!service_mini().is_bounded());
         assert!(!service_skew_mini().is_bounded());
         assert_eq!(service_mini().offered_multiplier, 1);
+    }
+
+    #[test]
+    fn restore_mini_is_durable_and_crashes_past_a_snapshot() {
+        let restore = service_restore_mini();
+        assert!(restore.persist && restore.crash_at.is_none());
+        assert!(
+            !restore.is_bounded(),
+            "persistence needs the unbounded shape"
+        );
+        assert_eq!(restore.tenants, 2);
+        assert_eq!(restore.sessions.len(), 2);
+        // The crash wave must exist (the run is longer than the crash
+        // point) and must sit strictly between two snapshot waves, so the
+        // restore replays a snapshot *plus* a WAL tail.
+        let events =
+            restore.total_statements() + restore.total_statements() / restore.feedback_every;
+        let waves = events.div_ceil(crate::service_run::PERSIST_WAVE);
+        assert!(
+            RESTORE_MINI_CRASH_WAVE < waves,
+            "crash wave {RESTORE_MINI_CRASH_WAVE} of {waves}"
+        );
+        const {
+            assert!(
+                !RESTORE_MINI_CRASH_WAVE.is_multiple_of(crate::service_run::PERSIST_SNAPSHOT_EVERY)
+            );
+            assert!(RESTORE_MINI_CRASH_WAVE > crate::service_run::PERSIST_SNAPSHOT_EVERY);
+        }
+        // The default scenarios stay in-memory.
+        assert!(!service_mini().persist);
+        assert_eq!(service_mini().crash_at, None);
     }
 }

@@ -122,7 +122,28 @@ pub struct ServiceScenarioSpec {
     /// drain rounds in the overload shape (≥ 1; inert without a depth
     /// limit).
     pub offered_multiplier: usize,
+    /// Attach durable persistence (snapshot + event WAL in a scratch
+    /// directory, removed when the run finishes).  Switches the replay into
+    /// the **wave shape**: events are submitted in waves of
+    /// [`PERSIST_WAVE`], each wave drained by one `poll` round (= one WAL
+    /// record), with a snapshot every [`PERSIST_SNAPSHOT_EVERY`] waves.
+    /// Only the unbounded shape supports persistence.
+    pub persist: bool,
+    /// Kill-and-restore point for persistent replays: before submitting
+    /// wave `crash_at` the live service is dropped (a clean kill between
+    /// drain rounds) and a freshly assembled host recovers it from the
+    /// snapshot + WAL.  The recovered run must render the same report as an
+    /// uninterrupted one — that equality is what the restore golden pins.
+    pub crash_at: Option<usize>,
 }
+
+/// Events submitted per wave of a persistent ([`ServiceScenarioSpec::persist`])
+/// replay; each wave is drained by exactly one `poll` round and therefore
+/// logs exactly one WAL record.
+pub const PERSIST_WAVE: usize = 16;
+
+/// A persistent replay snapshots the service every this-many waves.
+pub const PERSIST_SNAPSHOT_EVERY: usize = 3;
 
 impl ServiceScenarioSpec {
     /// A scenario with the default fleet (WFIT-500, WFIT-IND, BC per
@@ -150,6 +171,8 @@ impl ServiceScenarioSpec {
             per_tenant_depth: 0,
             global_depth: 0,
             offered_multiplier: 1,
+            persist: false,
+            crash_at: None,
         }
     }
 
@@ -233,6 +256,20 @@ impl ServiceScenarioSpec {
         self
     }
 
+    /// Attach durable persistence (snapshot + WAL) to the replay.
+    pub fn with_persist(mut self, persist: bool) -> Self {
+        self.persist = persist;
+        self
+    }
+
+    /// Kill the service before wave `wave` and restore it from disk
+    /// (implies [`ServiceScenarioSpec::with_persist`]).
+    pub fn with_crash_at(mut self, wave: usize) -> Self {
+        self.persist = true;
+        self.crash_at = Some(wave);
+        self
+    }
+
     /// Whether the spec replays in the bounded/overload shape.
     pub fn is_bounded(&self) -> bool {
         self.per_tenant_depth > 0 || self.global_depth > 0
@@ -286,6 +323,16 @@ impl ServiceScenarioSpec {
             self.workers
         }
     }
+}
+
+/// A unique scratch directory for one persistent replay's snapshot + WAL
+/// (unique per process *and* per call, so parallel test runs of the same
+/// scenario never share state).
+fn persist_scratch_dir(name: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("wfit-harness-{name}-{}-{n}", std::process::id()))
 }
 
 /// One tenant's prepared state: the database (ready to be shared with the
@@ -477,6 +524,14 @@ fn run_internal(
         replay.is_none() || !spec.is_bounded(),
         "survivor replays run unbounded (they are the control arm)"
     );
+    assert!(
+        !(spec.persist && spec.is_bounded()),
+        "persistence is supported only for the unbounded shape"
+    );
+    assert!(
+        spec.crash_at.is_none() || spec.persist,
+        "a crash point needs persistence to recover from"
+    );
 
     // Per-tenant offline preparation, in parallel (order restored by index).
     let prepared: Vec<PreparedTenant> = std::thread::scope(|scope| {
@@ -491,36 +546,43 @@ fn run_internal(
 
     // Assemble the service: one tenant + fleet per prepared workload, all
     // backed by the prepared database instances (whose registries hold the
-    // candidate ids the offline selections refer to).
-    let mut svc = TuningService::with_workers(spec.resolved_workers())
-        .with_batch_size(spec.batch_size)
-        .with_steal(spec.steal);
-    if spec.is_bounded() {
-        svc = svc.with_ingress(IngressConfig::bounded(
-            spec.per_tenant_depth,
-            spec.global_depth,
-        ));
-    }
-    let mut tenant_ids = Vec::with_capacity(spec.tenants);
-    for (t, prep) in prepared.iter().enumerate() {
-        let options = if spec.shared_cache {
-            TenantOptions::default().with_cache_capacity(spec.cache_capacity)
-        } else {
-            TenantOptions {
-                cache: None,
-                ..TenantOptions::default()
-            }
-        };
-        let id = svc.add_tenant_with(
-            format!("tenant-{t}"),
-            prep.db.clone(),
-            options.with_ibg_reuse(spec.ibg_reuse),
-        );
-        for session in &spec.sessions {
-            svc.add_session(id, session.label(), |env| build_advisor(session, prep, env));
+    // candidate ids the offline selections refer to).  A persistent replay
+    // that crashes mid-run reassembles the *same* host through this closure
+    // before restoring — the restore contract is "same databases, same
+    // builder closures, same registration order".
+    let assemble = || {
+        let mut svc = TuningService::with_workers(spec.resolved_workers())
+            .with_batch_size(spec.batch_size)
+            .with_steal(spec.steal);
+        if spec.is_bounded() {
+            svc = svc.with_ingress(IngressConfig::bounded(
+                spec.per_tenant_depth,
+                spec.global_depth,
+            ));
         }
-        tenant_ids.push(id);
-    }
+        let mut tenant_ids = Vec::with_capacity(spec.tenants);
+        for (t, prep) in prepared.iter().enumerate() {
+            let options = if spec.shared_cache {
+                TenantOptions::default().with_cache_capacity(spec.cache_capacity)
+            } else {
+                TenantOptions {
+                    cache: None,
+                    ..TenantOptions::default()
+                }
+            };
+            let id = svc.add_tenant_with(
+                format!("tenant-{t}"),
+                prep.db.clone(),
+                options.with_ibg_reuse(spec.ibg_reuse),
+            );
+            for session in &spec.sessions {
+                svc.add_session(id, session.label(), |env| build_advisor(session, prep, env));
+            }
+            tenant_ids.push(id);
+        }
+        (svc, tenant_ids)
+    };
+    let (mut svc, tenant_ids) = assemble();
 
     // The global submission schedule: (tenant index, event kind) in the
     // exact order events are offered.  A survivor replay re-interleaves the
@@ -643,6 +705,49 @@ fn run_internal(
             survivors[t].extend(pending.drain(..));
         }
         batch
+    } else if spec.persist {
+        // Durable wave shape: every wave is submitted, drained by one poll
+        // round (which appends one WAL record before the events execute),
+        // and every PERSIST_SNAPSHOT_EVERY-th wave ends with a snapshot.
+        // At `crash_at` the live service is dropped between rounds — a
+        // clean kill — and a freshly assembled host recovers from disk; the
+        // replayed rounds are not re-logged, so the WAL-round total (and
+        // every other deterministic metric) is identical to an
+        // uninterrupted run's.
+        let dir = persist_scratch_dir(&spec.name);
+        svc = svc
+            .with_persistence(&dir)
+            .expect("a fresh scratch directory always attaches");
+        let mut batch = service::BatchReport::default();
+        for (wave, chunk) in schedule.chunks(PERSIST_WAVE).enumerate() {
+            if spec.crash_at == Some(wave) {
+                drop(svc);
+                let (fresh, fresh_ids) = assemble();
+                assert_eq!(fresh_ids, tenant_ids, "tenant ids are deterministic");
+                svc = fresh;
+                let report = svc
+                    .restore(&dir)
+                    .expect("restore recovers a cleanly killed service");
+                assert_eq!(report.torn_bytes_discarded, 0, "clean kills tear nothing");
+                assert_eq!(report.wal_rounds, wave as u64);
+            }
+            for &(t, kind) in chunk {
+                svc.submit(make_event(t, kind));
+                survivors[t].push(kind);
+            }
+            batch.absorb(svc.poll());
+            if (wave + 1) % PERSIST_SNAPSHOT_EVERY == 0 {
+                svc.snapshot().expect("snapshot of a quiescent service");
+            }
+        }
+        batch.absorb(svc.process_pending());
+        assert!(
+            svc.persist_fault().is_none(),
+            "the WAL must stay healthy through the whole replay: {:?}",
+            svc.persist_fault()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        batch
     } else {
         for &(t, kind) in &schedule {
             svc.submit(make_event(t, kind));
@@ -761,6 +866,8 @@ fn run_internal(
             deferred_events: istats.deferred,
             rejected_submits: istats.rejected,
             peak_pending: istats.peak_pending,
+            persist: spec.persist,
+            wal_rounds: svc.wal_rounds(),
             events_per_sec: batch.events_per_sec(),
             latency_p50_us: batch.p50_us(),
             latency_p99_us: batch.p99_us(),
@@ -910,6 +1017,36 @@ mod tests {
         // choice is a pure function of submission order.
         let rerun = run_service_scenario(&spec);
         assert_eq!(bounded.to_json(), rerun.to_json());
+    }
+
+    #[test]
+    fn persistent_replay_with_crash_matches_uninterrupted_run() {
+        // The wave shape with persistence attached may only change overhead
+        // counters relative to the plain in-memory replay — never a cost.
+        let plain = run_service_scenario(&tiny("svc-persist"));
+        let durable = run_service_scenario(&tiny("svc-persist").with_persist(true));
+        assert_eq!(plain.cells.len(), durable.cells.len());
+        for (p, d) in plain.cells.iter().zip(&durable.cells) {
+            assert_eq!(p.label, d.label);
+            assert_eq!(
+                p.total_work.to_bits(),
+                d.total_work.to_bits(),
+                "{}",
+                p.label
+            );
+            assert_eq!(p.ratio_series, d.ratio_series, "{}", p.label);
+        }
+        let summary = durable.service.as_ref().unwrap();
+        assert!(summary.persist);
+        let waves = (36usize).div_ceil(PERSIST_WAVE) as u64; // 32 queries + 4 votes
+        assert_eq!(summary.wal_rounds, waves);
+        assert!(!plain.service.as_ref().unwrap().persist);
+        assert_eq!(plain.service.as_ref().unwrap().wal_rounds, 0);
+
+        // Killing the service after wave 1 and restoring from disk renders
+        // the *byte-identical* deterministic report.
+        let crashed = run_service_scenario(&tiny("svc-persist").with_crash_at(1));
+        assert_eq!(durable.to_json(), crashed.to_json());
     }
 
     #[test]

@@ -13,11 +13,16 @@ use crate::env::{TenantEnv, TenantOptions};
 use crate::event::{Event, SessionId, TenantId};
 use crate::ibg_store::IbgStats;
 use crate::ingress::{Ingress, IngressConfig, IngressStats, ServiceHandle, SubmitOutcome};
+use crate::persist::{
+    self, Fnv64, PersistError, RestoreReport, SessionDigest, Snapshot, TenantSnapshot,
+};
 use crate::scheduler::{self, Placement, SchedStats, SchedulerConfig, TenantLoad};
 use simdb::database::Database;
-use simdb::index::IndexSet;
+use simdb::index::{IndexId, IndexSet};
 use simdb::query::Statement;
 use simdb::whatif::WhatIfStats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 use wfit_core::evaluator::AcceptancePolicy;
@@ -33,6 +38,37 @@ pub(crate) struct SessionSlot {
     /// its own what-if request counter.
     env: TenantEnv,
     session: ServiceSession,
+    /// Set when the session's advisor panicked: the panic message.  A
+    /// faulted session is quarantined — it is skipped by every subsequent
+    /// drain so one broken advisor cannot wedge its tenant or the daemon
+    /// (see [`TuningService::session_fault`]).
+    fault: Option<String>,
+}
+
+/// Render a caught panic payload for [`SessionSlot::fault`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "advisor panicked with a non-string payload".to_string()
+    }
+}
+
+/// Run one session-level call, quarantining the slot instead of unwinding
+/// across the worker pool: before this guard existed, an advisor panic
+/// crossed `std::thread::scope` and poisoned the whole drain (`poll`
+/// aborted via `join().expect`, wedging every subsequent round).  The
+/// session may be left mid-update — that is exactly why the slot is
+/// excluded from all further rounds rather than recovered.
+fn guard_session(slot: &mut SessionSlot, call: impl FnOnce(&mut ServiceSession)) {
+    if slot.fault.is_some() {
+        return;
+    }
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| call(&mut slot.session))) {
+        slot.fault = Some(panic_message(payload));
+    }
 }
 
 struct Tenant {
@@ -85,7 +121,7 @@ fn drain_grouped(
                 debug_assert!(batch.is_empty(), "a vote closes the preceding batch");
                 let start = Instant::now();
                 for slot in slots.iter_mut() {
-                    slot.session.vote(approve, reject);
+                    guard_session(slot, |session| session.vote(approve, reject));
                 }
                 latencies.push(start.elapsed().as_micros() as u64);
             }
@@ -109,9 +145,11 @@ fn flush_batch(
     }
     let start = Instant::now();
     for slot in slots.iter_mut() {
-        for statement in batch.iter() {
-            slot.session.submit_query(statement);
-        }
+        guard_session(slot, |session| {
+            for statement in batch.iter() {
+                session.submit_query(statement);
+            }
+        });
     }
     env.advance_ibg_generation();
     let per_event = start.elapsed().as_micros() as u64 / batch.len() as u64;
@@ -131,11 +169,13 @@ fn drain_session(slot: &mut SessionSlot, events: &[Event]) -> Vec<u64> {
         let start = Instant::now();
         match event {
             Event::Query { statement, .. } => {
-                slot.session.submit_query(statement);
+                guard_session(slot, |session| {
+                    session.submit_query(statement);
+                });
             }
             Event::Vote {
                 approve, reject, ..
-            } => slot.session.vote(approve, reject),
+            } => guard_session(slot, |session| session.vote(approve, reject)),
         }
         latencies.push(start.elapsed().as_micros() as u64);
     }
@@ -304,6 +344,19 @@ pub struct TuningService {
     batch_size: usize,
     steal: bool,
     sched: SchedStats,
+    persist: Option<PersistState>,
+}
+
+/// Attached durability state (see [`crate::persist`]).
+struct PersistState {
+    dir: PathBuf,
+    wal: persist::Wal,
+    /// Sticky: set on the first failed WAL append.  The service keeps
+    /// processing (the drained events are already committed to execution —
+    /// dropping them would diverge live state), but durability is lost from
+    /// this round on and [`TuningService::snapshot`] refuses to write a
+    /// manifest that the log cannot back.
+    fault: Option<String>,
 }
 
 impl Default for TuningService {
@@ -330,6 +383,7 @@ impl TuningService {
             batch_size: 1,
             steal: false,
             sched: SchedStats::default(),
+            persist: None,
         }
     }
 
@@ -455,6 +509,7 @@ impl TuningService {
             label: label.into(),
             env,
             session,
+            fault: None,
         });
         SessionId::new(tenant, t.slots.len() - 1)
     }
@@ -527,6 +582,12 @@ impl TuningService {
         if total == 0 {
             return BatchReport::default();
         }
+        // Durability ordering: the round is appended to the WAL *before*
+        // any of its events execute, so every effect visible in
+        // snapshot-eligible state is backed by the log.  (During
+        // `restore`'s replay no persistence is attached yet, so replayed
+        // rounds are not re-logged.)
+        self.log_round(&runs);
         let start = Instant::now();
 
         let loads: Vec<TenantLoad> = runs
@@ -769,6 +830,370 @@ impl TuningService {
         self.slot_ref(id).session.cost_series()
     }
 
+    /// The panic message of a quarantined session, if its advisor panicked
+    /// during a drain.  A faulted session is skipped by every subsequent
+    /// round; its accounting is frozen at the last completed call.  Healthy
+    /// sessions — including other sessions of the same tenant — are
+    /// unaffected.
+    pub fn session_fault(&self, id: SessionId) -> Option<&str> {
+        self.slot_ref(id).fault.as_deref()
+    }
+
+    /// All currently quarantined sessions (empty in a healthy service).
+    pub fn faulted_sessions(&self) -> Vec<SessionId> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .flat_map(|(t, tenant)| {
+                tenant
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter_map(move |(i, slot)| {
+                        slot.fault
+                            .as_ref()
+                            .map(|_| SessionId::new(TenantId(t as u32), i))
+                    })
+            })
+            .collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Durability (see `crate::persist` for formats and invariants)
+    // -----------------------------------------------------------------
+
+    /// Attach persistence to a fresh service: every subsequent
+    /// [`TuningService::poll`] round is appended to `dir`'s event WAL
+    /// before it executes, and [`TuningService::snapshot`] writes
+    /// checkpoint manifests there.  The directory is created if missing.
+    ///
+    /// # Errors
+    /// [`PersistError::Config`] if `dir` already holds logged rounds —
+    /// silently appending to another incarnation's log would interleave two
+    /// histories; resume a previous incarnation with
+    /// [`TuningService::restore`] instead.
+    pub fn with_persistence(mut self, dir: impl AsRef<Path>) -> Result<Self, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| PersistError::Io {
+            op: format!("create persistence directory {}", dir.display()),
+            source: e,
+        })?;
+        let (wal, scan) = persist::Wal::open_for_append(&dir)?;
+        if !scan.records.is_empty() {
+            return Err(PersistError::Config(format!(
+                "{} already holds {} logged round(s) — resume it with TuningService::restore",
+                dir.display(),
+                scan.records.len()
+            )));
+        }
+        self.persist = Some(PersistState {
+            dir,
+            wal,
+            fault: None,
+        });
+        Ok(self)
+    }
+
+    /// Whether persistence is attached.
+    pub fn persist_enabled(&self) -> bool {
+        self.persist.is_some()
+    }
+
+    /// Rounds durably logged in the attached WAL (0 without persistence).
+    pub fn wal_rounds(&self) -> u64 {
+        self.persist.as_ref().map(|p| p.wal.rounds()).unwrap_or(0)
+    }
+
+    /// The sticky durability fault, if a WAL append has failed.  The
+    /// service keeps executing after an append failure (its drained events
+    /// are already committed to execution), but the log is incomplete from
+    /// that round on; callers that require durability must check this.
+    pub fn persist_fault(&self) -> Option<&str> {
+        self.persist.as_ref().and_then(|p| p.fault.as_deref())
+    }
+
+    fn log_round(&mut self, runs: &[Vec<Event>]) {
+        let Some(state) = self.persist.as_mut() else {
+            return;
+        };
+        if state.fault.is_some() {
+            return;
+        }
+        match persist::encode_round(state.wal.rounds(), runs) {
+            Ok(record) => {
+                if let Err(e) = state.wal.append(&record) {
+                    state.fault = Some(e.to_string());
+                }
+            }
+            Err(e) => state.fault = Some(e.to_string()),
+        }
+    }
+
+    /// Write a checkpoint manifest for the current state: the WAL round
+    /// count it reflects, a configuration echo, full cache exports, IBG and
+    /// per-session digests, and the admission-ledger counters replay cannot
+    /// re-derive.  The file is written to a temp name and atomically
+    /// renamed over `snapshot.json`, so readers only ever see a complete
+    /// manifest.  Queued-but-undrained events are *not* captured — on a
+    /// crash they are lost, which is the documented ingestion contract.
+    ///
+    /// # Errors
+    /// [`PersistError::Config`] without persistence or after a sticky WAL
+    /// fault (a manifest claiming rounds the log cannot back would be
+    /// corruption by construction); I/O and codec errors pass through.
+    pub fn snapshot(&self) -> Result<(), PersistError> {
+        let Some(state) = self.persist.as_ref() else {
+            return Err(PersistError::Config(
+                "persistence is not attached (use with_persistence or restore)".to_string(),
+            ));
+        };
+        if let Some(fault) = &state.fault {
+            return Err(PersistError::Config(format!(
+                "refusing to snapshot after a WAL fault: {fault}"
+            )));
+        }
+        self.build_snapshot(state.wal.rounds()).save(&state.dir)
+    }
+
+    fn build_snapshot(&self, rounds: u64) -> Snapshot {
+        Snapshot {
+            rounds,
+            workers: self.max_workers as u64,
+            batch_size: self.batch_size as u64,
+            steal: self.steal,
+            peak_pending: self.ingress.stats().peak_pending,
+            sched_rounds: self.sched.rounds,
+            sched_session_runs: self.sched.session_runs,
+            sched_stolen_runs: self.sched.stolen_runs,
+            tenants: self
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(t, tenant)| {
+                    let stats = self.ingress.tenant_stats(TenantId(t as u32));
+                    TenantSnapshot {
+                        name: tenant.name.clone(),
+                        shed: stats.shed,
+                        deferred: stats.deferred,
+                        rejected: stats.rejected,
+                        cache: tenant.env.shared_cache().map(|c| c.export()),
+                        ibg_digest: tenant.env.ibg_store().map(|s| s.digest()),
+                        sessions: tenant.slots.iter().map(session_digest_of).collect(),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Recover a crashed incarnation's state from `dir` into this freshly
+    /// assembled service, then attach persistence so new rounds append
+    /// after the recovered history.  The host must have registered the
+    /// same tenants and sessions (same builder closures) as the original —
+    /// the snapshot's configuration echo is checked before any replay.
+    ///
+    /// Recovery replays the **entire WAL** round-by-round through the
+    /// normal execution path (advisor state is not serializable; replay
+    /// *is* the restore mechanism, and bit-determinism makes it exact).  A
+    /// torn final record is discarded and physically truncated — never
+    /// fatal.  When a snapshot manifest is present its digests are
+    /// verified at the checkpoint round ([`PersistError::Divergence`] on
+    /// any mismatch; with stealing enabled the cache/IBG digests are
+    /// skipped, as their hit/miss split is timing-dependent by contract)
+    /// and its non-replayable ledger counters are seeded afterwards.
+    ///
+    /// # Errors
+    /// [`PersistError::Config`] when the service already processed events,
+    /// already has persistence, or does not match the configuration echo;
+    /// [`PersistError::Corrupt`] for structural damage beyond a torn tail
+    /// (including a snapshot claiming more rounds than the WAL holds);
+    /// [`PersistError::Divergence`] when replay does not reconverge.
+    pub fn restore(&mut self, dir: impl AsRef<Path>) -> Result<RestoreReport, PersistError> {
+        let dir = dir.as_ref().to_path_buf();
+        if self.persist.is_some() {
+            return Err(PersistError::Config(
+                "persistence already attached — restore requires a fresh service".to_string(),
+            ));
+        }
+        if self.tenants.iter().any(|t| t.processed > 0) {
+            return Err(PersistError::Config(
+                "restore requires a freshly assembled service (no processed events)".to_string(),
+            ));
+        }
+        let (wal, scan) = persist::Wal::open_for_append(&dir)?;
+        let torn_bytes_discarded = scan.file_len.saturating_sub(scan.valid_len);
+        let snapshot = Snapshot::load(&dir)?;
+        if let Some(snap) = &snapshot {
+            if snap.rounds > scan.records.len() as u64 {
+                return Err(PersistError::Corrupt(format!(
+                    "snapshot reflects {} round(s) but the WAL holds only {} — the log lost \
+                     committed history",
+                    snap.rounds,
+                    scan.records.len()
+                )));
+            }
+            self.check_config_echo(snap)?;
+            if snap.rounds == 0 {
+                self.verify_snapshot(snap)?;
+            }
+        }
+        let mut events_replayed = 0u64;
+        for record in &scan.records {
+            for (tenant, events) in &record.runs {
+                let t = self.tenants.get(*tenant as usize).ok_or_else(|| {
+                    PersistError::Config(format!(
+                        "WAL addresses tenant {tenant} but only {} registered",
+                        self.tenants.len()
+                    ))
+                })?;
+                let tid = TenantId(*tenant);
+                let decoded = decode_events(t.env.database(), tid, events)?;
+                events_replayed += decoded.len() as u64;
+                self.ingress.inject_replay(tid, decoded);
+            }
+            let _ = self.poll();
+            if let Some(snap) = &snapshot {
+                if snap.rounds == record.round + 1 {
+                    self.verify_snapshot(snap)?;
+                }
+            }
+        }
+        if let Some(snap) = &snapshot {
+            for (t, ts) in snap.tenants.iter().enumerate() {
+                self.ingress.seed_replay_ledger(
+                    TenantId(t as u32),
+                    ts.shed,
+                    ts.deferred,
+                    ts.rejected,
+                );
+            }
+            self.ingress.seed_peak_pending(snap.peak_pending);
+        }
+        self.persist = Some(PersistState {
+            dir,
+            wal,
+            fault: None,
+        });
+        Ok(RestoreReport {
+            wal_rounds: scan.records.len() as u64,
+            events_replayed,
+            snapshot_rounds: snapshot.map(|s| s.rounds),
+            torn_bytes_discarded,
+        })
+    }
+
+    /// Reject a restore into a service shaped differently from the one
+    /// that wrote the snapshot — replaying someone else's log would
+    /// produce silently wrong state, so shape mismatches are hard errors.
+    fn check_config_echo(&self, snap: &Snapshot) -> Result<(), PersistError> {
+        let mismatch = |what: String| Err(PersistError::Config(what));
+        if snap.workers != self.max_workers as u64 {
+            return mismatch(format!(
+                "snapshot used {} workers, this service has {}",
+                snap.workers, self.max_workers
+            ));
+        }
+        if snap.batch_size != self.batch_size as u64 {
+            return mismatch(format!(
+                "snapshot used batch size {}, this service has {}",
+                snap.batch_size, self.batch_size
+            ));
+        }
+        if snap.steal != self.steal {
+            return mismatch(format!(
+                "snapshot had steal={}, this service has steal={}",
+                snap.steal, self.steal
+            ));
+        }
+        if snap.tenants.len() != self.tenants.len() {
+            return mismatch(format!(
+                "snapshot had {} tenant(s), this service has {}",
+                snap.tenants.len(),
+                self.tenants.len()
+            ));
+        }
+        for (t, (ts, tenant)) in snap.tenants.iter().zip(&self.tenants).enumerate() {
+            if ts.name != tenant.name {
+                return mismatch(format!(
+                    "tenant {t} was named {:?}, this service has {:?}",
+                    ts.name, tenant.name
+                ));
+            }
+            if ts.sessions.len() != tenant.slots.len() {
+                return mismatch(format!(
+                    "tenant {t} had {} session(s), this service has {}",
+                    ts.sessions.len(),
+                    tenant.slots.len()
+                ));
+            }
+            for (s, (sd, slot)) in ts.sessions.iter().zip(&tenant.slots).enumerate() {
+                if sd.label != slot.label {
+                    return mismatch(format!(
+                        "session {t}/{s} was labelled {:?}, this service has {:?}",
+                        sd.label, slot.label
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compare the replayed state against the snapshot's digests at the
+    /// checkpoint round.  Per-session accounting is always bit-checked;
+    /// cache and IBG digests are skipped under work-stealing, where the
+    /// hit/miss split (and hence slot order) is timing-dependent by
+    /// documented contract.
+    fn verify_snapshot(&self, snap: &Snapshot) -> Result<(), PersistError> {
+        for (t, (ts, tenant)) in snap.tenants.iter().zip(&self.tenants).enumerate() {
+            for (s, (expected, slot)) in ts.sessions.iter().zip(&tenant.slots).enumerate() {
+                let actual = session_digest_of(slot);
+                if actual != *expected {
+                    return Err(PersistError::Divergence(format!(
+                        "session {t}/{s} ({}) replayed to a different state: \
+                         expected {expected:?}, got {actual:?}",
+                        slot.label
+                    )));
+                }
+            }
+            if !self.steal {
+                let live_cache = tenant.env.shared_cache().map(|c| c.export().digest());
+                let snap_cache = ts.cache.as_ref().map(|c| c.digest());
+                if live_cache != snap_cache {
+                    return Err(PersistError::Divergence(format!(
+                        "tenant {t} cache digest mismatch: snapshot {snap_cache:?}, \
+                         replayed {live_cache:?}"
+                    )));
+                }
+                let live_ibg = tenant.env.ibg_store().map(|s| s.digest());
+                if live_ibg != ts.ibg_digest {
+                    return Err(PersistError::Divergence(format!(
+                        "tenant {t} IBG digest mismatch: snapshot {:?}, replayed {live_ibg:?}",
+                        ts.ibg_digest
+                    )));
+                }
+            }
+        }
+        if (
+            self.sched.rounds,
+            self.sched.session_runs,
+            self.sched.stolen_runs,
+        ) != (
+            snap.sched_rounds,
+            snap.sched_session_runs,
+            snap.sched_stolen_runs,
+        ) {
+            return Err(PersistError::Divergence(format!(
+                "scheduler ledger mismatch: snapshot ({}, {}, {}), replayed ({}, {}, {})",
+                snap.sched_rounds,
+                snap.sched_session_runs,
+                snap.sched_stolen_runs,
+                self.sched.rounds,
+                self.sched.session_runs,
+                self.sched.stolen_runs
+            )));
+        }
+        Ok(())
+    }
+
     fn tenant_ref(&self, tenant: TenantId) -> &Tenant {
         self.tenants
             .get(tenant.0 as usize)
@@ -787,6 +1212,60 @@ impl TuningService {
             .get(id.index)
             .unwrap_or_else(|| panic!("unknown session {id:?}"))
     }
+}
+
+/// Digest one session's observable state for a snapshot manifest: float
+/// accounting as raw IEEE-754 bits, index sets as id lists, the cost series
+/// folded to an FNV-64.  Restore compares these for bit-identity.
+fn session_digest_of(slot: &SessionSlot) -> SessionDigest {
+    let stats = slot.session.stats();
+    let mut series = Fnv64::new();
+    for &v in slot.session.cost_series() {
+        series.write_u64(v.to_bits());
+    }
+    SessionDigest {
+        label: slot.label.clone(),
+        advisor: slot.session.advisor_name(),
+        queries: stats.queries,
+        votes: stats.votes,
+        total_work_bits: stats.total_work.to_bits(),
+        query_cost_bits: stats.query_cost.to_bits(),
+        transition_cost_bits: stats.transition_cost.to_bits(),
+        transitions: stats.transitions,
+        recommendation: slot.session.recommendation().iter().map(|i| i.0).collect(),
+        materialized: slot.session.materialized().iter().map(|i| i.0).collect(),
+        series_len: slot.session.cost_series().len() as u64,
+        series_digest: series.finish(),
+    }
+}
+
+/// Rehydrate one logged run: queries re-bind their SQL against the tenant
+/// database (binding is deterministic, so fingerprints and costs are
+/// identical to the original), votes rebuild their index sets.
+fn decode_events(
+    db: &Database,
+    tenant: TenantId,
+    records: &[persist::EventRecord],
+) -> Result<Vec<Event>, PersistError> {
+    records
+        .iter()
+        .map(|record| match record {
+            persist::EventRecord::Query { sql } => db
+                .parse(sql)
+                .map(|stmt| Event::query(tenant, Arc::new(stmt)))
+                .map_err(|e| {
+                    PersistError::Corrupt(format!(
+                        "logged statement no longer binds against tenant {}: {e} ({sql:?})",
+                        tenant.0
+                    ))
+                }),
+            persist::EventRecord::Vote { approve, reject } => Ok(Event::vote(
+                tenant,
+                approve.iter().map(|&id| IndexId(id)).collect(),
+                reject.iter().map(|&id| IndexId(id)).collect(),
+            )),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -1221,5 +1700,202 @@ mod tests {
         // the depth snapshot.
         let (_, again) = run(true, 4);
         assert_eq!(stolen_sched, again);
+    }
+
+    struct PanickyAdvisor {
+        seen: u64,
+        panic_at: u64,
+    }
+
+    impl IndexAdvisor for PanickyAdvisor {
+        fn analyze_query(&mut self, _stmt: &Statement) {
+            self.seen += 1;
+            if self.seen == self.panic_at {
+                panic!("injected advisor failure at query {}", self.seen);
+            }
+        }
+        fn recommend(&self) -> IndexSet {
+            IndexSet::empty()
+        }
+        fn name(&self) -> String {
+            "panicky".into()
+        }
+    }
+
+    /// Regression: an advisor panic inside a drain used to unwind across
+    /// the worker scope and abort `poll` through `join().expect`, wedging
+    /// every subsequent round.  The panic is now caught at the session
+    /// boundary: the faulted session is quarantined, its tenant's other
+    /// sessions and all later rounds keep working.
+    #[test]
+    fn advisor_panic_quarantines_the_session_not_the_daemon() {
+        let mut svc = TuningService::with_workers(2);
+        let id = svc.add_tenant("acme", db());
+        let healthy = svc.add_session(id, "wfit", wfit_builder);
+        let doomed = svc.add_session(id, "panicky", |_env| {
+            Box::new(PanickyAdvisor {
+                seen: 0,
+                panic_at: 2,
+            })
+        });
+        let database = svc.env(id).database().clone();
+        let q = move |k: u32| {
+            Arc::new(
+                database
+                    .parse(&format!("SELECT b FROM t WHERE a = {k}"))
+                    .unwrap(),
+            )
+        };
+        for k in 0..4 {
+            svc.submit(Event::query(id, q(k)));
+        }
+        let batch = svc.process_pending();
+        assert_eq!(batch.events, 4, "the round completes despite the panic");
+        assert_eq!(svc.session_stats(healthy).queries, 4);
+        assert_eq!(svc.faulted_sessions(), vec![doomed]);
+        assert!(svc
+            .session_fault(doomed)
+            .unwrap()
+            .contains("injected advisor failure"));
+        assert!(svc.session_fault(healthy).is_none());
+        let frozen = svc.session_stats(doomed).queries;
+
+        // Later rounds still drain; the quarantined session is skipped and
+        // its accounting stays frozen.
+        for k in 0..2 {
+            svc.submit(Event::query(id, q(k)));
+        }
+        svc.submit(Event::vote(id, IndexSet::empty(), IndexSet::empty()));
+        let batch = svc.process_pending();
+        assert_eq!(batch.events, 3);
+        assert_eq!(svc.session_stats(healthy).queries, 6);
+        assert_eq!(svc.session_stats(healthy).votes, 1);
+        assert_eq!(svc.session_stats(doomed).queries, frozen);
+        assert_eq!(svc.session_stats(doomed).votes, 0);
+    }
+
+    fn persist_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("wfit-daemon-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The host-side assembly closure a persisted deployment re-runs after
+    /// a crash: same database shape, same interned index, same sessions.
+    fn restorable_service() -> (TuningService, TenantId, IndexId) {
+        let mut svc = TuningService::with_workers(2).with_batch_size(2);
+        let database = db();
+        let idx = database.define_index("t", &["a"]).unwrap();
+        let id = svc.add_tenant("acme", database);
+        svc.add_session(id, "wfit-0", wfit_builder);
+        svc.add_session(id, "wfit-1", wfit_builder);
+        (svc, id, idx)
+    }
+
+    type Fingerprint = Vec<(u64, u64, u64, Vec<u32>, Vec<u64>)>;
+
+    fn state_fingerprint(svc: &TuningService) -> Fingerprint {
+        svc.session_ids()
+            .iter()
+            .map(|&sid| {
+                let stats = svc.session_stats(sid);
+                (
+                    stats.queries,
+                    stats.votes,
+                    stats.total_work.to_bits(),
+                    svc.recommendation(sid).iter().map(|i| i.0).collect(),
+                    svc.cost_series(sid).iter().map(|c| c.to_bits()).collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kill_and_restore_replays_to_bit_identical_state() {
+        let dir = persist_dir("restore");
+        let (svc, id, idx) = restorable_service();
+        let mut svc = svc.with_persistence(&dir).unwrap();
+        let q =
+            |svc: &TuningService, sql: &str| Arc::new(svc.env(id).database().parse(sql).unwrap());
+        // Round 1: two queries.  Round 2: a vote plus a query.  Snapshot.
+        // Round 3: a WAL tail past the checkpoint.
+        svc.submit(Event::query(id, q(&svc, "SELECT b FROM t WHERE a = 1")));
+        svc.submit(Event::query(id, q(&svc, "SELECT a FROM t WHERE b = 2")));
+        svc.poll();
+        svc.submit(Event::vote(id, IndexSet::single(idx), IndexSet::empty()));
+        svc.submit(Event::query(id, q(&svc, "SELECT b FROM t WHERE a < 500")));
+        svc.poll();
+        svc.snapshot().unwrap();
+        svc.submit(Event::query(id, q(&svc, "SELECT a FROM t WHERE b = 9")));
+        svc.poll();
+        assert_eq!(svc.wal_rounds(), 3);
+        assert_eq!(svc.persist_fault(), None);
+        let expected = state_fingerprint(&svc);
+        let env = svc.env(id);
+        let expected_cache = env.shared_cache().map(|c| c.export().digest());
+        let expected_processed = svc.tenant_processed(id);
+        drop(svc); // the "crash"
+
+        let (mut restored, rid, _) = restorable_service();
+        let report = restored.restore(&dir).unwrap();
+        assert_eq!(report.wal_rounds, 3);
+        assert_eq!(report.events_replayed, 5);
+        assert_eq!(report.snapshot_rounds, Some(2));
+        assert_eq!(report.torn_bytes_discarded, 0);
+        assert_eq!(restored.wal_rounds(), 3);
+        assert_eq!(state_fingerprint(&restored), expected);
+        let renv = restored.env(rid);
+        assert_eq!(
+            renv.shared_cache().map(|c| c.export().digest()),
+            expected_cache
+        );
+        assert_eq!(restored.tenant_processed(rid), expected_processed);
+
+        // The restored incarnation keeps logging after the recovered
+        // history and can checkpoint again.
+        restored.submit(Event::query(
+            rid,
+            q(&restored, "SELECT b FROM t WHERE a = 7"),
+        ));
+        restored.poll();
+        assert_eq!(restored.wal_rounds(), 4);
+        assert_eq!(restored.persist_fault(), None);
+        restored.snapshot().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_logs_and_mismatched_hosts_are_rejected() {
+        let dir = persist_dir("reject");
+        let (svc, id, _) = restorable_service();
+        let mut svc = svc.with_persistence(&dir).unwrap();
+        let q = Arc::new(
+            svc.env(id)
+                .database()
+                .parse("SELECT b FROM t WHERE a = 1")
+                .unwrap(),
+        );
+        svc.submit(Event::query(id, q));
+        svc.poll();
+        svc.snapshot().unwrap();
+        drop(svc);
+
+        // Attaching fresh persistence over a previous incarnation's rounds
+        // must fail — that history needs `restore`, not silent appending.
+        let err = restorable_service()
+            .0
+            .with_persistence(&dir)
+            .err()
+            .expect("non-empty WAL must be rejected");
+        assert!(matches!(err, PersistError::Config(_)), "got {err}");
+
+        // A host shaped differently from the snapshot's echo is rejected
+        // before any replay.
+        let mut mismatched = TuningService::with_workers(2).with_batch_size(2);
+        let tid = mismatched.add_tenant("acme", db());
+        mismatched.add_session(tid, "other-label", wfit_builder);
+        let err = mismatched.restore(&dir).expect_err("echo must mismatch");
+        assert!(matches!(err, PersistError::Config(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -206,6 +206,17 @@ impl TenantEnv {
     pub fn whatif_requests(&self) -> u64 {
         self.whatif_requests.load(Ordering::Relaxed)
     }
+
+    /// The tenant's shared what-if cache, when one is attached.  The
+    /// persistence layer exports/verifies it through this handle.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedWhatIfCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The tenant's shared IBG store, when IBG sharing is on.
+    pub fn ibg_store(&self) -> Option<&Arc<IbgStore>> {
+        self.ibg_store.as_ref()
+    }
 }
 
 impl TuningEnv for TenantEnv {

@@ -217,6 +217,53 @@ impl IbgStore {
     pub fn clear(&self) {
         self.entries.write().clear();
     }
+
+    /// FNV-1a 64-bit digest of the store's logical state: the sorted
+    /// `(fingerprint, relevant ids, touched generation)` key set, the
+    /// current generation, the retention policy and the counters.  Graph
+    /// *contents* are excluded on purpose — a graph is a pure function of
+    /// its key under the deterministic cost model, so the key set pins the
+    /// store exactly.  Used by `service::persist` snapshot verification.
+    pub fn digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        fn eat_u64(hash: &mut u64, v: u64) {
+            for b in v.to_le_bytes() {
+                *hash ^= b as u64;
+                *hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        let mut keys: Vec<(u64, Vec<u32>, u64)> = self
+            .entries
+            .read()
+            .iter()
+            .flat_map(|(&fingerprint, by_set)| {
+                by_set.iter().map(move |(relevant, entry)| {
+                    (
+                        fingerprint,
+                        relevant.iter().map(|i| i.0).collect(),
+                        entry.touched.load(Ordering::Relaxed),
+                    )
+                })
+            })
+            .collect();
+        keys.sort();
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        eat_u64(&mut hash, self.generation.load(Ordering::Relaxed));
+        eat_u64(&mut hash, self.keep_generations);
+        eat_u64(&mut hash, keys.len() as u64);
+        for (fingerprint, ids, touched) in keys {
+            eat_u64(&mut hash, fingerprint);
+            eat_u64(&mut hash, ids.len() as u64);
+            for id in ids {
+                eat_u64(&mut hash, id as u64);
+            }
+            eat_u64(&mut hash, touched);
+        }
+        for counter in [&self.builds, &self.reuses, &self.retired] {
+            eat_u64(&mut hash, counter.load(Ordering::Relaxed));
+        }
+        hash
+    }
 }
 
 #[cfg(test)]

@@ -338,6 +338,28 @@ impl Ingress {
         Ok(SubmitOutcome::Deferred)
     }
 
+    /// Whether `tenant`'s shard and the global budget currently have room
+    /// for one more sheddable event, checked under the shard lock.  Used by
+    /// the blocking [`Ingress::submit`] to re-check **before parking**: a
+    /// drain can complete between a failed admission and the park, and
+    /// without the re-check the producer would sleep a full backoff step
+    /// with capacity sitting free.  The answer can be stale by the time the
+    /// caller re-admits (another producer may take the slot) — the admit
+    /// loop simply tries again, so staleness costs a retry, never
+    /// correctness.
+    fn capacity_available(&self, tenant: TenantId) -> bool {
+        let shards = self.shards.read();
+        let Some(shard) = shards.get(tenant.0 as usize) else {
+            return false;
+        };
+        let state = shard.state.lock();
+        if shard.depth > 0 && state.queue.len() >= shard.depth {
+            return false;
+        }
+        self.config.global_depth == 0
+            || self.global_pending.load(Ordering::Relaxed) < self.config.global_depth as u64
+    }
+
     /// Count one deferred admission on the event's shard (the blocking
     /// path's "had to park" marker).
     fn note_deferred(&self, tenant: TenantId) {
@@ -387,6 +409,13 @@ impl Ingress {
                 }
                 Err((back, _)) => {
                     event = back;
+                    // A drain can complete between the failed admission and
+                    // the park below; re-check under the shard lock and take
+                    // the freed slot immediately instead of sleeping a full
+                    // backoff step with capacity sitting idle.
+                    if self.capacity_available(tenant) {
+                        continue;
+                    }
                     // Escalating backoff: yield a few times, then sleep with
                     // doubling pauses capped at 1ms.  Purely a politeness
                     // policy — correctness never depends on the timing.
@@ -481,6 +510,66 @@ impl Ingress {
                 run
             })
             .collect()
+    }
+
+    /// Refill one tenant's queue with `events`, **bypassing the admission
+    /// gate**.  This is the WAL-replay path of [`crate::persist`]: the
+    /// events were admitted by the original run (that is why they reached
+    /// the log), so replaying them must not re-consult depth limits — a
+    /// replay round can legitimately exceed the live budget because the
+    /// original producers trickled in between drains.  Bumps `submitted`
+    /// and the global pending gauge exactly like live admission so the
+    /// ledger reconciles after the round is drained.
+    ///
+    /// # Panics
+    /// If the tenant is unregistered (restore wires tenants before replay).
+    pub(crate) fn inject_replay(&self, tenant: TenantId, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let shards = self.shards.read();
+        let shard = shards
+            .get(tenant.0 as usize)
+            .unwrap_or_else(|| panic!("replay into unregistered tenant {}", tenant.0));
+        let n = events.len() as u64;
+        {
+            let mut state = shard.state.lock();
+            state.queue.extend(events);
+            state.submitted += n;
+        }
+        self.global_pending.fetch_add(n, Ordering::Relaxed);
+        self.note_peak();
+    }
+
+    /// Seed the admission-ledger counters that WAL replay cannot re-derive.
+    /// Shed events were admitted but displaced before any drain, so they
+    /// never reach the log; deferred and rejected outcomes are producer-side
+    /// bookkeeping with no queued event at all.  A snapshot carries their
+    /// per-shard values and restore adds them back here: `shed` counts both
+    /// as `submitted` and `shed` (preserving
+    /// `pending == submitted - drained - shed`), the others are plain adds.
+    pub(crate) fn seed_replay_ledger(
+        &self,
+        tenant: TenantId,
+        shed: u64,
+        deferred: u64,
+        rejected: u64,
+    ) {
+        let shards = self.shards.read();
+        let Some(shard) = shards.get(tenant.0 as usize) else {
+            return;
+        };
+        let mut state = shard.state.lock();
+        state.submitted += shed;
+        state.shed += shed;
+        state.deferred += deferred;
+        state.rejected += rejected;
+    }
+
+    /// Seed the global high-water mark from a snapshot (replay alone only
+    /// reproduces per-round peaks, which lower-bound the live value).
+    pub(crate) fn seed_peak_pending(&self, peak: u64) {
+        self.peak_pending.fetch_max(peak, Ordering::Relaxed);
     }
 }
 

@@ -102,6 +102,7 @@ pub mod env;
 pub mod event;
 pub mod ibg_store;
 pub mod ingress;
+pub mod persist;
 pub mod scheduler;
 
 pub use daemon::{BatchReport, ServiceSession, TuningService};
@@ -111,4 +112,5 @@ pub use ibg_store::{IbgStats, IbgStore};
 pub use ingress::{
     Ingress, IngressConfig, IngressStats, RejectReason, ServiceHandle, SubmitOutcome,
 };
+pub use persist::{PersistError, RestoreReport, Snapshot};
 pub use scheduler::{SchedStats, SchedulePlan, SchedulerConfig};

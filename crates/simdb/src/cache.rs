@@ -380,6 +380,266 @@ impl SharedWhatIfCache {
         self.stmts.write().clear();
         self.configs.write().clear();
     }
+
+    /// Export the complete cache state — interners, per-shard slot arenas in
+    /// insertion order with their CLOCK reference bits and hand positions,
+    /// and the counters — as a plain-data [`CacheExport`].
+    ///
+    /// The export is deterministic for a quiesced cache: interner maps are
+    /// inverted into id-ordered vectors and slot order is insertion order,
+    /// so two caches that served the same request sequence export
+    /// byte-identically.  Exporting while requests are in flight yields an
+    /// arbitrary (but internally consistent) interleaving — callers that
+    /// need determinism must quiesce first, which is what the service's
+    /// snapshot path does between drain rounds.
+    pub fn export(&self) -> CacheExport {
+        let stmts = self.stmts.read();
+        let mut statements = vec![0u64; stmts.len()];
+        for (&fingerprint, &id) in stmts.iter() {
+            statements[id.0 as usize] = fingerprint;
+        }
+        drop(stmts);
+        let configs_guard = self.configs.read();
+        let mut configs = vec![Vec::new(); configs_guard.len()];
+        for (set, &id) in configs_guard.iter() {
+            configs[id.0 as usize] = set.iter().map(|i| i.0).collect();
+        }
+        drop(configs_guard);
+        let shards = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let guard = shard.read();
+                ShardExport {
+                    hand: guard.hand as u64,
+                    slots: guard
+                        .slots
+                        .iter()
+                        .map(|slot| SlotExport {
+                            stmt: slot.key.0 .0,
+                            config: slot.key.1 .0,
+                            total_bits: slot.value.total.to_bits(),
+                            used_indexes: slot.value.used_indexes.iter().map(|i| i.0).collect(),
+                            description: slot.value.description.clone(),
+                            referenced: slot.referenced.load(Ordering::Relaxed),
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        CacheExport {
+            capacity: self.config.capacity as u64,
+            statements,
+            configs,
+            shards,
+            requests: self.requests.load(Ordering::Relaxed),
+            optimizer_calls: self.optimizer_calls.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Rebuild a cache from an export so that every subsequent request
+    /// behaves exactly as it would have against the original: interned ids,
+    /// resident entries, CLOCK hands/reference bits and counters are all
+    /// restored.  `export(from_export(e)) == e` bit-for-bit.
+    ///
+    /// Fails (with a description, never a panic) when the export is
+    /// internally inconsistent — wrong shard count for its capacity, slot
+    /// ids out of interner range, or an over-capacity shard.
+    pub fn from_export(export: &CacheExport) -> Result<Self, String> {
+        let cache = Self::with_config(if export.capacity == 0 {
+            CacheConfig::unbounded()
+        } else {
+            CacheConfig::bounded(export.capacity as usize)
+        });
+        if export.shards.len() != cache.shards.len() {
+            return Err(format!(
+                "cache export has {} shards, capacity {} implies {}",
+                export.shards.len(),
+                export.capacity,
+                cache.shards.len()
+            ));
+        }
+        {
+            let mut stmts = cache.stmts.write();
+            for (i, &fingerprint) in export.statements.iter().enumerate() {
+                if stmts.insert(fingerprint, StmtId(i as u32)).is_some() {
+                    return Err(format!("duplicate statement fingerprint {fingerprint:#x}"));
+                }
+            }
+        }
+        {
+            let mut configs = cache.configs.write();
+            for (i, ids) in export.configs.iter().enumerate() {
+                let set = IndexSet::from_iter(ids.iter().map(|&id| crate::index::IndexId(id)));
+                if configs.insert(set, ConfigId(i as u32)).is_some() {
+                    return Err(format!("duplicate configuration {ids:?}"));
+                }
+            }
+        }
+        for (shard_index, shard_export) in export.shards.iter().enumerate() {
+            let cap = cache.shard_caps[shard_index];
+            if shard_export.slots.len() > cap {
+                return Err(format!(
+                    "shard {shard_index} holds {} slots over its capacity {cap}",
+                    shard_export.slots.len()
+                ));
+            }
+            if shard_export.hand != 0 && shard_export.hand as usize >= shard_export.slots.len() {
+                return Err(format!("shard {shard_index} hand out of range"));
+            }
+            let mut guard = cache.shards[shard_index].write();
+            for (idx, slot) in shard_export.slots.iter().enumerate() {
+                if slot.stmt as usize >= export.statements.len()
+                    || slot.config as usize >= export.configs.len()
+                {
+                    return Err(format!(
+                        "shard {shard_index} slot {idx} references an uninterned id"
+                    ));
+                }
+                let key = (StmtId(slot.stmt), ConfigId(slot.config));
+                if guard.map.insert(key, idx).is_some() {
+                    return Err(format!("shard {shard_index} repeats key {key:?}"));
+                }
+                guard.slots.push(Slot {
+                    key,
+                    value: PlanCost {
+                        total: f64::from_bits(slot.total_bits),
+                        used_indexes: IndexSet::from_iter(
+                            slot.used_indexes
+                                .iter()
+                                .map(|&id| crate::index::IndexId(id)),
+                        ),
+                        description: slot.description.clone(),
+                    },
+                    referenced: AtomicBool::new(slot.referenced),
+                });
+            }
+            guard.hand = shard_export.hand as usize;
+        }
+        cache.requests.store(export.requests, Ordering::Relaxed);
+        cache
+            .optimizer_calls
+            .store(export.optimizer_calls, Ordering::Relaxed);
+        cache.cache_hits.store(export.cache_hits, Ordering::Relaxed);
+        cache.evictions.store(export.evictions, Ordering::Relaxed);
+        Ok(cache)
+    }
+}
+
+/// One exported cache entry (see [`SharedWhatIfCache::export`]).  The plan
+/// cost's `total` travels as raw bits so import reproduces it exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotExport {
+    /// Interned statement id of the entry's key.
+    pub stmt: u32,
+    /// Interned configuration id of the entry's key.
+    pub config: u32,
+    /// `PlanCost::total` as IEEE-754 bits.
+    pub total_bits: u64,
+    /// Raw index ids of `PlanCost::used_indexes` (ascending).
+    pub used_indexes: Vec<u32>,
+    /// `PlanCost::description`.
+    pub description: String,
+    /// The slot's CLOCK reference bit.
+    pub referenced: bool,
+}
+
+/// One exported shard: the CLOCK hand plus the slot arena in insertion
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardExport {
+    /// Position of the CLOCK hand.
+    pub hand: u64,
+    /// Resident entries in insertion (sweep) order.
+    pub slots: Vec<SlotExport>,
+}
+
+/// A complete, plain-data image of a [`SharedWhatIfCache`]: capacity policy,
+/// both interners inverted into id-ordered vectors, every shard's slots +
+/// CLOCK state, and the hit/miss/eviction counters.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CacheExport {
+    /// Configured capacity (0 = unbounded).
+    pub capacity: u64,
+    /// Statement fingerprints, indexed by [`StmtId`].
+    pub statements: Vec<u64>,
+    /// Configurations as raw index-id lists, indexed by [`ConfigId`].
+    pub configs: Vec<Vec<u32>>,
+    /// Per-shard slot arenas and CLOCK hands.
+    pub shards: Vec<ShardExport>,
+    /// Total requests served.
+    pub requests: u64,
+    /// Misses that ran the optimizer.
+    pub optimizer_calls: u64,
+    /// Hits served from the memo.
+    pub cache_hits: u64,
+    /// Entries displaced by the CLOCK sweep.
+    pub evictions: u64,
+}
+
+impl CacheExport {
+    /// FNV-1a 64-bit digest over the entire export, with length prefixes so
+    /// field boundaries cannot alias.  Two exports digest equal iff they are
+    /// structurally equal, which is what the service's snapshot verification
+    /// compares.
+    pub fn digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        fn eat(hash: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *hash ^= b as u64;
+                *hash = hash.wrapping_mul(PRIME);
+            }
+        }
+        fn eat_u64(hash: &mut u64, v: u64) {
+            eat(hash, &v.to_le_bytes());
+        }
+        let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+        eat_u64(&mut hash, self.capacity);
+        eat_u64(&mut hash, self.statements.len() as u64);
+        for &f in &self.statements {
+            eat_u64(&mut hash, f);
+        }
+        eat_u64(&mut hash, self.configs.len() as u64);
+        for ids in &self.configs {
+            eat_u64(&mut hash, ids.len() as u64);
+            for &id in ids {
+                eat_u64(&mut hash, id as u64);
+            }
+        }
+        eat_u64(&mut hash, self.shards.len() as u64);
+        for shard in &self.shards {
+            eat_u64(&mut hash, shard.hand);
+            eat_u64(&mut hash, shard.slots.len() as u64);
+            for slot in &shard.slots {
+                eat_u64(&mut hash, slot.stmt as u64);
+                eat_u64(&mut hash, slot.config as u64);
+                eat_u64(&mut hash, slot.total_bits);
+                eat_u64(&mut hash, slot.used_indexes.len() as u64);
+                for &id in &slot.used_indexes {
+                    eat_u64(&mut hash, id as u64);
+                }
+                eat_u64(&mut hash, slot.description.len() as u64);
+                eat(&mut hash, slot.description.as_bytes());
+                eat_u64(&mut hash, slot.referenced as u64);
+            }
+        }
+        for counter in [
+            self.requests,
+            self.optimizer_calls,
+            self.cache_hits,
+            self.evictions,
+        ] {
+            eat_u64(&mut hash, counter);
+        }
+        hash
+    }
+
+    /// Number of resident entries across all shards.
+    pub fn entries(&self) -> u64 {
+        self.shards.iter().map(|s| s.slots.len() as u64).sum()
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +791,96 @@ mod tests {
             (stats.cache_hits, stats.evictions, stats.entries)
         };
         assert_eq!(run(), run());
+    }
+
+    /// Drive a bounded cache through a skewed request pattern (hits,
+    /// misses, evictions, second chances) and return it.
+    fn warmed(capacity: usize) -> SharedWhatIfCache {
+        let cache = SharedWhatIfCache::with_config(CacheConfig::bounded(capacity));
+        for step in 0..150u64 {
+            let f = (step * step + 3) % 23;
+            let config = if step % 3 == 0 {
+                IndexSet::single(IndexId((step % 5) as u32))
+            } else {
+                IndexSet::empty()
+            };
+            cache.get_or_compute(f, &config, || PlanCost {
+                total: f as f64 + 0.25,
+                used_indexes: config.clone(),
+                description: format!("plan-{f}"),
+            });
+        }
+        cache
+    }
+
+    #[test]
+    fn export_import_round_trips_bit_for_bit() {
+        for capacity in [2usize, 6, 48] {
+            let cache = warmed(capacity);
+            let export = cache.export();
+            assert!(export.entries() > 0);
+            let imported = SharedWhatIfCache::from_export(&export).expect("import");
+            let re_export = imported.export();
+            assert_eq!(export, re_export, "capacity {capacity}");
+            assert_eq!(export.digest(), re_export.digest());
+            assert_eq!(cache.stats(), imported.stats());
+        }
+        // Unbounded caches export/import too.
+        let cache = SharedWhatIfCache::new();
+        cache.get_or_compute(7, &IndexSet::empty(), || plan(1.5));
+        let export = cache.export();
+        assert_eq!(export.capacity, 0);
+        let imported = SharedWhatIfCache::from_export(&export).expect("import");
+        assert_eq!(imported.export(), export);
+    }
+
+    #[test]
+    fn imported_cache_behaves_identically_onward() {
+        // Continue the same request tail against the original and against an
+        // import of its mid-run export: every counter and the final resident
+        // set must agree — the CLOCK hands and reference bits travelled.
+        let tail = |cache: &SharedWhatIfCache| {
+            for step in 0..80u64 {
+                let f = (step * 7 + 1) % 29;
+                cache.get_or_compute(f, &IndexSet::empty(), || plan(f as f64));
+            }
+            cache.export()
+        };
+        let original = warmed(6);
+        let imported = SharedWhatIfCache::from_export(&original.export()).expect("import");
+        let a = tail(&original);
+        let b = tail(&imported);
+        assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn inconsistent_exports_are_rejected_not_panicked() {
+        let mut export = warmed(6).export();
+        export.shards.pop();
+        assert!(SharedWhatIfCache::from_export(&export).is_err());
+
+        let mut export = warmed(6).export();
+        if let Some(slot) = export.shards.iter_mut().flat_map(|s| &mut s.slots).next() {
+            slot.stmt = u32::MAX;
+        }
+        assert!(SharedWhatIfCache::from_export(&export).is_err());
+
+        let mut export = warmed(6).export();
+        export.statements.push(export.statements[0]);
+        assert!(SharedWhatIfCache::from_export(&export).is_err());
+
+        // Digests see every field: flipping a reference bit changes it.
+        let clean = warmed(6).export();
+        let mut dirty = clean.clone();
+        let slot = dirty
+            .shards
+            .iter_mut()
+            .flat_map(|s| &mut s.slots)
+            .next()
+            .expect("warmed cache has entries");
+        slot.referenced = !slot.referenced;
+        assert_ne!(clean.digest(), dirty.digest());
     }
 
     #[test]

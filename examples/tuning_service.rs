@@ -17,6 +17,11 @@
 //! stays at the configured budget, queries are turned away with a named
 //! reason, and the DBA's votes always cut the line.
 //!
+//! The fourth act demonstrates **durability**: a service with a snapshot +
+//! event WAL attached is killed between two drain rounds — past its last
+//! snapshot — and a freshly assembled host restores from disk to the exact
+//! pre-crash state, then finishes the workload.
+//!
 //! Run with `cargo run --release --example tuning_service`.
 
 use std::sync::Arc;
@@ -247,4 +252,75 @@ fn main() {
          {} votes deferred; peak pending {} (budget 24)",
         gate.submitted, gate.drained, gate.shed, gate.pending, gate.deferred, gate.peak_pending,
     );
+
+    // Act four — durability.  Attach a snapshot + event WAL to the service:
+    // every drain round is appended to the log *before* its events execute,
+    // and `snapshot()` writes an atomically-renamed checkpoint.  Then kill
+    // the service between two rounds — after the last snapshot, so a WAL
+    // tail must be replayed — and recover on a freshly assembled host.
+    println!();
+    println!("durability act: snapshot + WAL, kill and restore…");
+    let dir = std::env::temp_dir().join(format!("wfit-example-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let bench = Benchmark::generate(BenchmarkSpec {
+        statements_per_phase: STATEMENTS_PER_PHASE,
+        seed: 0xD0_5AFE,
+        phases: wfit::workload::default_phases(),
+    });
+    let Benchmark { db, statements, .. } = bench;
+    let db = Arc::new(db);
+    // The restore contract: the host re-runs the *same* assembly (same
+    // database instance or shape, same session builders, same order) and
+    // the persistence layer replays the state into it.
+    let assemble = || {
+        let mut svc = TuningService::with_workers(2).with_batch_size(BATCH_SIZE);
+        let tenant = svc.add_tenant("durable", db.clone());
+        svc.add_session(tenant, "wfit", |env| {
+            Box::new(Wfit::new(env, WfitConfig::default())) as Box<dyn IndexAdvisor + Send>
+        });
+        (svc, tenant)
+    };
+
+    let (svc, tenant) = assemble();
+    let mut svc = svc.with_persistence(&dir).expect("attach persistence");
+    let session = SessionId::new(tenant, 0);
+    let (half, tail) = (statements.len() / 2, statements.len() * 3 / 4);
+    for statement in &statements[..half] {
+        svc.submit(Event::query(tenant, Arc::new(statement.clone())));
+    }
+    svc.poll(); // WAL round 1
+    svc.snapshot().expect("checkpoint the quiescent service");
+    for statement in &statements[half..tail] {
+        svc.submit(Event::query(tenant, Arc::new(statement.clone())));
+    }
+    svc.poll(); // WAL round 2 — logged, but *not* snapshotted
+    let pre_crash = svc.session_stats(session).total_work;
+    println!(
+        "  logged {} WAL rounds, snapshot at round 1 — killing the service \
+         with totWork {pre_crash:.0}…",
+        svc.wal_rounds(),
+    );
+    drop(svc); // the crash: queues were empty, the disk state is all that survives
+
+    let (mut svc, _) = assemble();
+    let report = svc.restore(&dir).expect("recover snapshot + WAL tail");
+    let recovered = svc.session_stats(session).total_work;
+    assert_eq!(pre_crash.to_bits(), recovered.to_bits());
+    println!(
+        "  restored {} rounds ({} events) from disk — totWork {recovered:.0}, \
+         bit-identical to the pre-crash state",
+        report.wal_rounds, report.events_replayed,
+    );
+    for statement in &statements[tail..] {
+        svc.submit(Event::query(tenant, Arc::new(statement.clone())));
+    }
+    svc.poll(); // WAL round 3, appended past the replayed log
+    svc.snapshot().expect("post-restore checkpoint");
+    println!(
+        "  finished the workload on the restored host: {} WAL rounds, \
+         final recommendation {} indexes",
+        svc.wal_rounds(),
+        svc.recommendation(session).len(),
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -331,6 +331,54 @@ fn service_overload_mini_matches_golden() {
     assert_eq!(report.to_json(), rerun.to_json());
 }
 
+#[test]
+fn service_restore_mini_matches_golden() {
+    let spec = scenarios::service_restore_mini();
+    let report = check_report_against_golden(&spec.name.clone(), run_service_scenario(&spec));
+    assert_eq!(report.cells.len(), 2 * 2, "2 tenants × 2 sessions");
+    let service = report.service.as_ref().expect("service summary present");
+    assert!(service.persist, "the scenario replays with persistence on");
+    assert!(
+        service.wal_rounds > 0,
+        "every drained wave must be WAL-logged"
+    );
+
+    // The crash-recovery gate: kill the service between two drain rounds —
+    // past a snapshot, with a logged-but-unsnapshotted WAL tail behind it —
+    // restore a freshly assembled host from disk, and finish the workload.
+    // The recovered run must render the *byte-identical* deterministic
+    // report: every cost cell, every cache counter, the WAL-round total.
+    let crashed = run_service_scenario(
+        &scenarios::service_restore_mini().with_crash_at(scenarios::RESTORE_MINI_CRASH_WAVE),
+    );
+    assert_eq!(
+        report.to_json(),
+        crashed.to_json(),
+        "a kill-and-restore run must be indistinguishable from an \
+         uninterrupted one"
+    );
+
+    // And persistence itself never changes a cost: the same workload
+    // replayed without the WAL attached agrees on every cost cell.
+    let mut in_memory = scenarios::service_restore_mini().with_persist(false);
+    in_memory.crash_at = None;
+    let plain = run_service_scenario(&in_memory);
+    assert_eq!(plain.cells.len(), report.cells.len());
+    for (p, d) in plain.cells.iter().zip(&report.cells) {
+        assert_eq!(p.label, d.label);
+        assert_eq!(
+            p.total_work.to_bits(),
+            d.total_work.to_bits(),
+            "{}: logging must be invisible to the tuning sessions",
+            p.label
+        );
+        assert_eq!(p.ratio_series, d.ratio_series, "{}", p.label);
+        assert_eq!(p.transitions, d.transitions, "{}", p.label);
+    }
+    assert!(!plain.service.as_ref().unwrap().persist);
+    assert_eq!(plain.service.as_ref().unwrap().wal_rounds, 0);
+}
+
 /// Scheduler equivalence, satellite of the work-stealing PR: stealing (or
 /// dialing workers up/down) may change only steal/queue metrics and
 /// timing-dependent overhead counters — session state, and with it every
@@ -427,10 +475,13 @@ fn service_replay_is_deterministic_for_identical_seeds() {
 /// `WFIT_OFFERED`, soak scaling via `WFIT_SOAK`) follow suit: library code
 /// takes `ServiceScenarioSpec::{per_tenant_depth, global_depth,
 /// offered_multiplier}` / `service::IngressConfig`, and only the bench and
-/// soak-test entry points read the environment.
+/// soak-test entry points read the environment.  The durability knob
+/// (`WFIT_PERSIST`) is the same story: library code takes
+/// `ServiceScenarioSpec::{persist, crash_at}`, only the service-throughput
+/// bench `main` reads the variable.
 #[test]
 fn harness_and_service_never_read_env_vars() {
-    const KNOB_NAMES: [&str; 11] = [
+    const KNOB_NAMES: [&str; 12] = [
         "WFIT_PHASE_LEN",
         "WFIT_CACHE_CAP",
         "WFIT_BATCH",
@@ -442,6 +493,7 @@ fn harness_and_service_never_read_env_vars() {
         "WFIT_DEPTH",
         "WFIT_OFFERED",
         "WFIT_SOAK",
+        "WFIT_PERSIST",
     ];
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();

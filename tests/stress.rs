@@ -550,6 +550,67 @@ fn bounded_ingress_overload_reconciles_under_eight_producers() {
     );
 }
 
+/// **Blocking-submit liveness** (the park-after-`Deferred` recheck fix) —
+/// producers blocking-`submit` queries through depth-**1** shards while a
+/// drainer loops `drain_all` as fast as it can.  With one-slot queues every
+/// single submit races the drain: admission fails, the drain frees the slot
+/// immediately, and the producer must *take* that slot on its pre-park
+/// recheck instead of sleeping a full backoff step with capacity sitting
+/// idle.  (The historical implementation parked unconditionally after a
+/// failed admission, so this exact schedule — capacity freed between the
+/// failed try and the park — degraded into lockstep backoff sleeps; the
+/// test then crawled.)  Liveness is the completion of the scope itself;
+/// correctness is the ledger: every blocking submit is eventually admitted
+/// and drained, nothing is shed or rejected.
+#[test]
+fn blocking_submit_through_depth_one_shards_stays_live() {
+    const PRODUCERS: usize = 4;
+    const OPS: usize = 300;
+
+    let (db, _) = database();
+    let stmt = Arc::new(db.parse("SELECT c FROM t WHERE a = 1").unwrap());
+    let ingress = Arc::new(Ingress::with_config(IngressConfig::bounded(1, 0)));
+    for _ in 0..PRODUCERS {
+        ingress.add_shard();
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..PRODUCERS as u32)
+            .map(|t| {
+                let ingress = &ingress;
+                let stmt = &stmt;
+                scope.spawn(move || {
+                    for _ in 0..OPS {
+                        // The blocking gate may never drop a query: with a
+                        // one-slot queue it parks (or recheck-retries) until
+                        // the drainer makes room.
+                        let outcome = ingress.submit(Event::query(TenantId(t), stmt.clone()));
+                        assert!(outcome.is_admitted());
+                    }
+                })
+            })
+            .collect();
+
+        // Tight drain loop: frees each one-slot queue as soon as it fills,
+        // maximizing the failed-admission/freed-slot race the recheck covers.
+        while !handles.iter().all(|h| h.is_finished()) || ingress.pending() > 0 {
+            if ingress.drain_all().is_empty() {
+                std::thread::yield_now();
+            }
+        }
+    });
+
+    let stats = ingress.stats();
+    assert_eq!(stats.pending, 0);
+    assert_eq!(stats.submitted, (PRODUCERS * OPS) as u64);
+    assert_eq!(
+        stats.drained, stats.submitted,
+        "every admitted query drained"
+    );
+    assert_eq!(stats.shed, 0, "blocking submits are never displaced");
+    assert_eq!(stats.rejected, 0, "blocking submits are never rejected");
+}
+
 /// **Snapshot semantics** (the `IngressStats::pending` race-window fix) —
 /// every counter of a shard lives under that shard's single mutex, so the
 /// identity `pending == submitted - drained - shed` must hold in **every**
