@@ -11,14 +11,21 @@
 //!   a heuristic adjustment for index interactions.
 //! * [`naive`] — trivial baselines (never index / always index every
 //!   candidate) used for sanity checks and ablations.
+//! * [`bandit`] — a C²UCB-style contextual combinatorial bandit ("DBA
+//!   bandits"): per-arm context features from the IBG benefit/interaction
+//!   statistics, deterministic ridge-regression UCB scores, and a safety
+//!   gate that falls back to the current configuration when the proposal's
+//!   estimated cost is worse than staying put.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod bandit;
 pub mod bc;
 pub mod naive;
 pub mod opt;
 
+pub use bandit::{BanditAdvisor, BanditConfig};
 pub use bc::BruchoChaudhuriAdvisor;
 pub use naive::{AllCandidatesAdvisor, NoIndexAdvisor};
 pub use opt::{compute_optimal, good_feedback_stream, OptSchedule};

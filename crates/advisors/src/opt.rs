@@ -47,6 +47,37 @@ impl OptSchedule {
             self.cumulative[n.min(self.cumulative.len()) - 1]
         }
     }
+
+    /// Clamped cumulative regret of an online run against this schedule.
+    ///
+    /// `cumulative` is the run's cumulative total-work series (one entry per
+    /// statement).  Per statement the regret increment is
+    /// `max(0, step(run) − step(OPT))`, so the series is monotone
+    /// non-decreasing *by construction* — unlike the raw difference
+    /// `run(n) − OPT(n)`, which can dip when OPT pays a creation the online
+    /// algorithm already paid earlier.  The final value bounds
+    /// `run_total − opt_total` from above.
+    pub fn regret_series(&self, cumulative: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(cumulative.len());
+        let mut acc = 0.0;
+        let mut prev = 0.0;
+        for (i, &run) in cumulative.iter().enumerate() {
+            let opt_step = self.cumulative_at(i + 1) - self.cumulative_at(i);
+            acc += ((run - prev) - opt_step).max(0.0);
+            prev = run;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// Final clamped cumulative regret of an online run (0.0 for an empty
+    /// run); see [`OptSchedule::regret_series`].
+    pub fn regret_of(&self, cumulative: &[f64]) -> f64 {
+        self.regret_series(cumulative)
+            .last()
+            .copied()
+            .unwrap_or(0.0)
+    }
 }
 
 /// Compute the optimal schedule for `workload` restricted to the candidates
@@ -352,6 +383,34 @@ mod tests {
         // the statement that needs it runs.
         assert!(opt.schedule[8].contains(a));
         assert!(opt.schedule[9].contains(b));
+    }
+
+    #[test]
+    fn regret_series_is_monotone_and_bounds_the_raw_gap() {
+        let (env, workload, a) = scripted();
+        let opt = compute_optimal(&env, &workload, &vec![vec![a]], &IndexSet::empty());
+        // Score the never-index schedule against OPT.
+        let never: Vec<IndexSet> = workload.iter().map(|_| IndexSet::empty()).collect();
+        let replay = total_work_of_schedule(&env, &workload, &never, &IndexSet::empty());
+        let series: Vec<f64> = replay
+            .outcomes
+            .iter()
+            .map(|o| o.cumulative_total_work)
+            .collect();
+        let regret = opt.regret_series(&series);
+        assert_eq!(regret.len(), series.len());
+        for w in regret.windows(2) {
+            assert!(w[1] >= w[0], "regret series must be monotone: {w:?}");
+        }
+        let final_regret = opt.regret_of(&series);
+        assert!(final_regret >= replay.total_work - opt.total - 1e-9);
+        assert!(final_regret > 0.0, "never-indexing has positive regret");
+        // OPT replayed against itself has (clamped) regret equal to the sum of
+        // positive step mismatches; the raw final gap is zero.
+        let self_regret = opt.regret_of(&opt.cumulative);
+        assert!(self_regret.abs() < 1e-9, "OPT vs OPT regret: {self_regret}");
+        // Empty run.
+        assert_eq!(opt.regret_of(&[]), 0.0);
     }
 
     #[test]

@@ -30,6 +30,9 @@
 //! * `WFIT_PERSIST`   — attach durable persistence (default 0): every drain
 //!   round is WAL-logged and the run snapshots periodically, measuring the
 //!   logging overhead against the in-memory replay; unbounded shape only
+//! * `WFIT_BANDIT`    — add a C²UCB bandit session to every tenant's fleet
+//!   (default 0), measuring the contextual-bandit arm head-to-head against
+//!   WFIT/BC under the same shared-cache what-if accounting
 //!
 //! The acceptance experiment for the work-stealing scheduler:
 //!
@@ -68,15 +71,21 @@ fn main() {
         .with_skew(env_usize("WFIT_SKEW", 1))
         .with_ingress_depths(env_usize("WFIT_DEPTH", 0), 0)
         .with_offered_multiplier(env_usize("WFIT_OFFERED", 1))
-        .with_persist(env_usize("WFIT_PERSIST", 0) != 0);
+        .with_persist(env_usize("WFIT_PERSIST", 0) != 0)
+        .with_bandit(env_usize("WFIT_BANDIT", 0) != 0);
     let tenants = spec.tenants;
     let cap = match spec.cache_capacity {
         0 => "unbounded".to_string(),
         c => format!("{c} entries"),
     };
+    let fleet = if spec.has_bandit() {
+        "WFIT-500 / WFIT-IND / BC / BANDIT"
+    } else {
+        "WFIT-500 / WFIT-IND / BC"
+    };
     println!(
         "service_throughput: {tenants} tenants × {} statements{}, \
-         fleet = WFIT-500 / WFIT-IND / BC, shared what-if cache per tenant \
+         fleet = {fleet}, shared what-if cache per tenant \
          ({cap}), batch size {}, IBG reuse {}, {} workers, stealing {}",
         spec.statements_per_tenant(),
         if spec.skew > 1 {

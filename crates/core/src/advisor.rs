@@ -26,6 +26,13 @@ pub trait IndexAdvisor {
 
     /// Short human-readable name used in experiment output.
     fn name(&self) -> String;
+
+    /// Number of times a built-in safety gate rejected its own proposal and
+    /// fell back to the current configuration.  Advisors without such a gate
+    /// (everything except the bandit arm) report 0.
+    fn safety_fallbacks(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed advisors forward to their contents, so heterogeneous fleets (e.g.
@@ -46,6 +53,10 @@ impl<A: IndexAdvisor + ?Sized> IndexAdvisor for Box<A> {
 
     fn name(&self) -> String {
         (**self).name()
+    }
+
+    fn safety_fallbacks(&self) -> u64 {
+        (**self).safety_fallbacks()
     }
 }
 

@@ -176,6 +176,12 @@ impl<E: TuningEnv, A: IndexAdvisor> TuningSession<E, A> {
         self.advisor.name()
     }
 
+    /// Safety-gate fallbacks reported by the advisor (0 for advisors without
+    /// a gate).
+    pub fn safety_fallbacks(&self) -> u64 {
+        self.advisor.safety_fallbacks()
+    }
+
     /// Access the advisor (e.g. to read algorithm-specific overhead counters
     /// such as [`crate::wfit::Wfit::whatif_calls`]).
     pub fn advisor(&self) -> &A {

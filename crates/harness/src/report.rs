@@ -42,6 +42,14 @@ pub struct CellReport {
     pub monitored: usize,
     /// Size of the final adopted configuration.
     pub final_config_size: usize,
+    /// Clamped cumulative regret against OPT at the end of the workload:
+    /// `Σ_n max(0, step_n(A) − step_n(OPT))` (see
+    /// `advisors::OptSchedule::regret_series`).  Monotone along the run and
+    /// computed uniformly for every cell.
+    pub regret: f64,
+    /// Safety-gate fallbacks reported by the advisor (bandit cells only;
+    /// 0 for advisors without a gate).
+    pub safety_fallbacks: u64,
     /// Wall-clock time of the cell's run in milliseconds (excluded from the
     /// deterministic JSON rendering).
     pub wall_time_ms: f64,
@@ -74,6 +82,8 @@ impl CellReport {
                 "final_config_size",
                 Json::Num(self.final_config_size as f64),
             ),
+            ("regret", Json::Num(self.regret)),
+            ("safety_fallbacks", Json::Num(self.safety_fallbacks as f64)),
         ];
         if with_timing {
             fields.push(("wall_time_ms", Json::Num(self.wall_time_ms)));
@@ -340,6 +350,8 @@ mod tests {
                 states_tracked: 12,
                 monitored: 5,
                 final_config_size: 3,
+                regret: 99.75,
+                safety_fallbacks: 4,
                 wall_time_ms: 1.5,
             }],
         }
@@ -351,6 +363,9 @@ mod tests {
         let text = r.to_json();
         assert!(!text.contains("wall_time_ms"));
         assert!(r.to_json_with_timing().contains("wall_time_ms"));
+        // The regret/safety counters are deterministic and golden-pinned.
+        assert!(text.contains("\"regret\": 99.75"));
+        assert!(text.contains("\"safety_fallbacks\": 4"));
         // Re-rendering is byte-identical.
         assert_eq!(text, r.to_json());
     }

@@ -12,7 +12,9 @@
 use std::time::Instant;
 
 use advisors::{compute_optimal, good_feedback_stream, OptSchedule};
-use advisors::{AllCandidatesAdvisor, BruchoChaudhuriAdvisor, NoIndexAdvisor};
+use advisors::{
+    AllCandidatesAdvisor, BanditAdvisor, BanditConfig, BruchoChaudhuriAdvisor, NoIndexAdvisor,
+};
 use ibg::partition::Partition;
 use simdb::database::Database;
 use simdb::index::IndexSet;
@@ -167,6 +169,11 @@ impl ScenarioContext {
             .iter()
             .filter(|o| o.transition_cost > 0.0)
             .count();
+        let cumulative: Vec<f64> = run
+            .outcomes
+            .iter()
+            .map(|o| o.cumulative_total_work)
+            .collect();
         CellReport {
             label: cell.label.clone(),
             advisor: run.advisor.clone(),
@@ -181,6 +188,8 @@ impl ScenarioContext {
             states_tracked: advisor.states_tracked(),
             monitored: advisor.monitored(),
             final_config_size: run.outcomes.last().map_or(0, |o| o.configuration_size),
+            regret: self.opt.regret_of(&cumulative),
+            safety_fallbacks: advisor.safety_fallbacks(),
             wall_time_ms,
         }
     }
@@ -253,6 +262,11 @@ impl ScenarioContext {
                 self.selection().candidates.clone(),
                 &IndexSet::empty(),
             )),
+            AdvisorSpec::Bandit { seed } => BuiltAdvisor::Bandit(Box::new(BanditAdvisor::new(
+                &self.bench.db,
+                self.selection().candidates.clone(),
+                BanditConfig::with_seed(*seed),
+            ))),
             AdvisorSpec::NoIndex => BuiltAdvisor::NoIndex(NoIndexAdvisor),
             AdvisorSpec::AllCandidates => BuiltAdvisor::All(
                 AllCandidatesAdvisor::new(self.selection().candidates.clone()),
@@ -285,6 +299,7 @@ pub(crate) fn checkpoint_positions(n: usize) -> Vec<usize> {
 enum BuiltAdvisor<'e> {
     Wfit(Box<Wfit<&'e Database>>),
     Bc(BruchoChaudhuriAdvisor<&'e Database>),
+    Bandit(Box<BanditAdvisor<&'e Database>>),
     NoIndex(NoIndexAdvisor),
     All(AllCandidatesAdvisor, usize),
 }
@@ -294,6 +309,7 @@ impl BuiltAdvisor<'_> {
         match self {
             BuiltAdvisor::Wfit(w) => w.whatif_calls(),
             BuiltAdvisor::Bc(b) => b.whatif_calls(),
+            BuiltAdvisor::Bandit(b) => b.whatif_calls(),
             _ => 0,
         }
     }
@@ -316,6 +332,7 @@ impl BuiltAdvisor<'_> {
         match self {
             BuiltAdvisor::Wfit(w) => w.monitored().len(),
             BuiltAdvisor::Bc(b) => b.candidates().len(),
+            BuiltAdvisor::Bandit(b) => b.candidates().len(),
             BuiltAdvisor::NoIndex(_) => 0,
             BuiltAdvisor::All(_, n) => *n,
         }
@@ -327,6 +344,7 @@ impl IndexAdvisor for BuiltAdvisor<'_> {
         match self {
             BuiltAdvisor::Wfit(w) => w.analyze_query(stmt),
             BuiltAdvisor::Bc(b) => b.analyze_query(stmt),
+            BuiltAdvisor::Bandit(b) => b.analyze_query(stmt),
             BuiltAdvisor::NoIndex(a) => a.analyze_query(stmt),
             BuiltAdvisor::All(a, _) => a.analyze_query(stmt),
         }
@@ -336,6 +354,7 @@ impl IndexAdvisor for BuiltAdvisor<'_> {
         match self {
             BuiltAdvisor::Wfit(w) => w.recommend(),
             BuiltAdvisor::Bc(b) => b.recommend(),
+            BuiltAdvisor::Bandit(b) => b.recommend(),
             BuiltAdvisor::NoIndex(a) => a.recommend(),
             BuiltAdvisor::All(a, _) => a.recommend(),
         }
@@ -345,6 +364,7 @@ impl IndexAdvisor for BuiltAdvisor<'_> {
         match self {
             BuiltAdvisor::Wfit(w) => w.feedback(positive, negative),
             BuiltAdvisor::Bc(b) => b.feedback(positive, negative),
+            BuiltAdvisor::Bandit(b) => b.feedback(positive, negative),
             BuiltAdvisor::NoIndex(a) => a.feedback(positive, negative),
             BuiltAdvisor::All(a, _) => a.feedback(positive, negative),
         }
@@ -354,8 +374,16 @@ impl IndexAdvisor for BuiltAdvisor<'_> {
         match self {
             BuiltAdvisor::Wfit(w) => w.name(),
             BuiltAdvisor::Bc(b) => b.name(),
+            BuiltAdvisor::Bandit(b) => b.name(),
             BuiltAdvisor::NoIndex(a) => a.name(),
             BuiltAdvisor::All(a, _) => a.name(),
+        }
+    }
+
+    fn safety_fallbacks(&self) -> u64 {
+        match self {
+            BuiltAdvisor::Bandit(b) => IndexAdvisor::safety_fallbacks(b),
+            _ => 0,
         }
     }
 }

@@ -10,6 +10,7 @@
 use crate::service_run::{ServiceScenarioSpec, ServiceSessionSpec};
 use crate::spec::{AdvisorSpec, CellSpec, FeedbackEvent, FeedbackSpec, ScenarioSpec};
 use wfit_core::config::WfitConfig;
+use workload::{Dataset, PhaseSpec};
 
 /// Statements per phase of the miniature golden scenarios.  Small enough for
 /// tier-1 test time, large enough that WFIT transitions and OPT is non-trivial.
@@ -205,6 +206,102 @@ pub fn fig11_mini() -> ScenarioSpec {
     spec
 }
 
+/// Tie-break seed of the bandit cells in the golden scenarios.
+pub const BANDIT_MINI_SEED: u64 = 0xB0BA;
+
+/// Miniature *ad-hoc drift* scenario for the bandit arm: the C²UCB bandit
+/// head-to-head against WFIT-500, BC and the never-index baseline over the
+/// paper's eight-phase drifting workload — the regime where the candidate
+/// pool's benefits shift phase by phase and the safety gate earns its keep.
+/// A second bandit cell receives scripted votes, pinning the pin/ban
+/// feedback semantics in the golden.  The golden snapshot pins each cell's
+/// `regret` / `safety_fallbacks` / `whatif_calls`.
+pub fn bandit_mini() -> ScenarioSpec {
+    ScenarioSpec::new("bandit-mini", MINI_PHASE_LEN)
+        .cell(CellSpec::new(
+            "BANDIT",
+            AdvisorSpec::Bandit {
+                seed: BANDIT_MINI_SEED,
+            },
+        ))
+        .cell(
+            CellSpec::new(
+                "BANDIT-VOTED",
+                AdvisorSpec::Bandit {
+                    seed: BANDIT_MINI_SEED,
+                },
+            )
+            .with_feedback(FeedbackSpec::Scripted(vec![
+                FeedbackEvent {
+                    position: 4,
+                    approve_ranks: vec![0],
+                    reject_ranks: vec![],
+                },
+                FeedbackEvent {
+                    position: 24,
+                    approve_ranks: vec![],
+                    reject_ranks: vec![1],
+                },
+            ])),
+        )
+        .cell(CellSpec::new(
+            "WFIT-500",
+            AdvisorSpec::WfitFixed { state_cnt: 500 },
+        ))
+        .cell(CellSpec::new("BC", AdvisorSpec::Bc))
+        .cell(CellSpec::new("NO-INDEX", AdvisorSpec::NoIndex))
+}
+
+/// The HTAP phase structure of [`bandit_htap_mini`]: each dataset pair is
+/// held for two consecutive phases — an analytic phase at 5% updates followed
+/// by a transactional phase at 45% — so the *same* candidate indexes swing
+/// from strongly beneficial to pure maintenance burden without the data
+/// shifting underneath them.
+pub fn htap_phases() -> Vec<PhaseSpec> {
+    use Dataset::*;
+    let drift = [
+        (TpcH, TpcC),
+        (TpcH, TpcC),
+        (TpcC, TpcE),
+        (TpcC, TpcE),
+        (TpcE, Nref),
+        (TpcE, Nref),
+        (Nref, TpcH),
+        (Nref, TpcH),
+    ];
+    drift
+        .into_iter()
+        .enumerate()
+        .map(|(i, (primary, secondary))| PhaseSpec {
+            primary,
+            secondary,
+            update_fraction: if i % 2 == 0 { 0.05 } else { 0.45 },
+        })
+        .collect()
+}
+
+/// Miniature *HTAP* scenario for the bandit arm: alternating read-heavy and
+/// update-heavy phases ([`htap_phases`]).  The always-index baseline pays
+/// maintenance through every transactional phase, the bandit must learn to
+/// retreat — its safety gate blocks deployments whose estimated cost exceeds
+/// staying put, so `safety_fallbacks` is pinned non-zero by the golden.
+pub fn bandit_htap_mini() -> ScenarioSpec {
+    ScenarioSpec::new("bandit-htap-mini", MINI_PHASE_LEN)
+        .with_phases(htap_phases())
+        .cell(CellSpec::new(
+            "BANDIT",
+            AdvisorSpec::Bandit {
+                seed: BANDIT_MINI_SEED,
+            },
+        ))
+        .cell(CellSpec::new(
+            "WFIT-500",
+            AdvisorSpec::WfitFixed { state_cnt: 500 },
+        ))
+        .cell(CellSpec::new("ALL-CAND", AdvisorSpec::AllCandidates))
+        .cell(CellSpec::new("NO-INDEX", AdvisorSpec::NoIndex))
+}
+
 /// The multi-tenant service throughput scenario: `tenants` independent
 /// workload streams, each served by a WFIT-500 / WFIT-IND / BC session fleet
 /// over a shared per-tenant what-if cache, with periodic DBA votes.  This is
@@ -356,11 +453,50 @@ mod tests {
 
     #[test]
     fn mini_scenarios_share_the_default_seed_and_are_small() {
-        for spec in [fig8_mini(), fig9_mini(), fig11_mini()] {
+        for spec in [
+            fig8_mini(),
+            fig9_mini(),
+            fig11_mini(),
+            bandit_mini(),
+            bandit_htap_mini(),
+        ] {
             assert_eq!(spec.statements_per_phase, MINI_PHASE_LEN);
             assert_eq!(spec.total_statements(), 8 * MINI_PHASE_LEN);
             assert_eq!(spec.seed, ScenarioSpec::new("x", 1).seed);
         }
+    }
+
+    #[test]
+    fn bandit_scenarios_field_the_expected_fleets() {
+        let mini = bandit_mini();
+        assert_eq!(mini.cells.len(), 5);
+        let bandit_cells = mini
+            .cells
+            .iter()
+            .filter(|c| matches!(c.advisor, AdvisorSpec::Bandit { .. }))
+            .count();
+        assert_eq!(bandit_cells, 2, "plain + voted bandit cells");
+        assert!(mini.cells.iter().any(|c| c.label == "NO-INDEX"));
+        // The HTAP variant holds each dataset pair for an analytic phase
+        // then a transactional one, and keeps the default seed.
+        let htap = bandit_htap_mini();
+        assert_eq!(htap.cells.len(), 4);
+        assert_eq!(htap.phases.len(), 8);
+        for (i, phase) in htap.phases.iter().enumerate() {
+            let expected = if i % 2 == 0 { 0.05 } else { 0.45 };
+            assert_eq!(phase.update_fraction, expected);
+            if i % 2 == 1 {
+                let prev = &htap.phases[i - 1];
+                assert_eq!(phase.primary, prev.primary, "pairs share data");
+                assert_eq!(phase.secondary, prev.secondary);
+            }
+        }
+        // The service fleet gains/loses the bandit arm idempotently.
+        let svc = service_mini().with_bandit(true);
+        assert_eq!(svc.sessions.len(), 4);
+        let twice = svc.clone().with_bandit(true);
+        assert_eq!(twice.sessions.len(), 4, "with_bandit is idempotent");
+        assert_eq!(twice.with_bandit(false).sessions.len(), 3);
     }
 
     #[test]

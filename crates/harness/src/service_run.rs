@@ -23,7 +23,8 @@
 
 use std::sync::Arc;
 
-use advisors::{compute_optimal, BruchoChaudhuriAdvisor, OptSchedule};
+use advisors::{compute_optimal, OptSchedule};
+use advisors::{BanditAdvisor, BanditConfig, BruchoChaudhuriAdvisor};
 use service::{Event, IngressConfig, TenantEnv, TenantOptions, TuningService};
 use simdb::index::IndexSet;
 use wfit_core::candidates::{offline_selection, OfflineSelection};
@@ -45,6 +46,11 @@ pub enum ServiceSessionSpec {
     WfitIndependent,
     /// The Bruno–Chaudhuri baseline over the tenant's offline candidates.
     Bc,
+    /// The C²UCB bandit over the tenant's offline candidates (safety-gated).
+    Bandit {
+        /// Seed for the deterministic splitmix64 tie-break hash.
+        seed: u64,
+    },
 }
 
 impl ServiceSessionSpec {
@@ -53,6 +59,7 @@ impl ServiceSessionSpec {
             ServiceSessionSpec::WfitFixed { state_cnt } => format!("WFIT-{state_cnt}"),
             ServiceSessionSpec::WfitIndependent => "WFIT-IND".to_string(),
             ServiceSessionSpec::Bc => "BC".to_string(),
+            ServiceSessionSpec::Bandit { .. } => "BANDIT".to_string(),
         }
     }
 }
@@ -192,6 +199,31 @@ impl ServiceScenarioSpec {
     pub fn with_shared_cache(mut self, shared: bool) -> Self {
         self.shared_cache = shared;
         self
+    }
+
+    /// Add (or remove) a C²UCB bandit session to every tenant's fleet — the
+    /// `WFIT_BANDIT` arm of the service-throughput bench.  The tie-break
+    /// seed is derived from the scenario's base seed, so the arm is fully
+    /// reproducible.
+    pub fn with_bandit(mut self, enabled: bool) -> Self {
+        let is_bandit = |s: &ServiceSessionSpec| matches!(s, ServiceSessionSpec::Bandit { .. });
+        if enabled {
+            if !self.sessions.iter().any(is_bandit) {
+                self.sessions.push(ServiceSessionSpec::Bandit {
+                    seed: self.seed ^ 0xC2CB,
+                });
+            }
+        } else {
+            self.sessions.retain(|s| !is_bandit(s));
+        }
+        self
+    }
+
+    /// Whether the fleet includes a bandit session (set via [`Self::with_bandit`]).
+    pub fn has_bandit(&self) -> bool {
+        self.sessions
+            .iter()
+            .any(|s| matches!(s, ServiceSessionSpec::Bandit { .. }))
     }
 
     /// Schedule periodic feedback events.
@@ -434,6 +466,11 @@ fn build_advisor(
             env,
             prepared.default_selection().candidates.clone(),
             &IndexSet::empty(),
+        )),
+        ServiceSessionSpec::Bandit { seed } => Box::new(BanditAdvisor::new(
+            env,
+            prepared.default_selection().candidates.clone(),
+            BanditConfig::with_seed(*seed),
         )),
     }
 }
@@ -810,6 +847,8 @@ fn run_internal(
                 states_tracked: 0,
                 monitored: prep.default_selection().candidates.len(),
                 final_config_size: stats.configuration_size,
+                regret: prep.opt.regret_of(series),
+                safety_fallbacks: svc.session_safety_fallbacks(id),
                 wall_time_ms: 0.0,
             });
         }
@@ -1064,6 +1103,46 @@ mod tests {
             );
             assert_eq!(c.ratio_series, u.ratio_series, "{}", c.label);
         }
+        let service = uncached.service.as_ref().unwrap();
+        assert_eq!(service.cache_requests, 0, "uncached arm bypasses the cache");
+    }
+
+    #[test]
+    fn bandit_cached_and_uncached_runs_agree_on_costs_and_whatif_calls() {
+        // The bandit charges its exploration through the same `TuningEnv`
+        // what-if accounting as WFIT/BC: switching the shared cache off may
+        // change nothing about any cost cell, regret, fallback counter or
+        // per-session `whatif_calls` — only the cache counters move.
+        let cached = run_service_scenario(&tiny("svc-bandit-cache").with_bandit(true));
+        let uncached = run_service_scenario(
+            &tiny("svc-bandit-cache")
+                .with_bandit(true)
+                .with_shared_cache(false),
+        );
+        assert!(
+            cached.cells.iter().any(|c| c.advisor == "BANDIT"),
+            "the fleet must field a bandit cell"
+        );
+        assert_eq!(cached.cells.len(), uncached.cells.len());
+        for (c, u) in cached.cells.iter().zip(&uncached.cells) {
+            assert_eq!(c.label, u.label);
+            assert_eq!(
+                c.total_work.to_bits(),
+                u.total_work.to_bits(),
+                "{}",
+                c.label
+            );
+            assert_eq!(c.ratio_series, u.ratio_series, "{}", c.label);
+            assert_eq!(c.regret.to_bits(), u.regret.to_bits(), "{}", c.label);
+            assert_eq!(c.safety_fallbacks, u.safety_fallbacks, "{}", c.label);
+            assert_eq!(
+                c.whatif_calls, u.whatif_calls,
+                "{}: what-if accounting must not depend on the cache",
+                c.label
+            );
+        }
+        let bandit = cached.cells.iter().find(|c| c.advisor == "BANDIT").unwrap();
+        assert!(bandit.whatif_calls > 0, "exploration must be charged");
         let service = uncached.service.as_ref().unwrap();
         assert_eq!(service.cache_requests, 0, "uncached arm bypasses the cache");
     }

@@ -29,6 +29,12 @@ pub enum AdvisorSpec {
     },
     /// The Bruno–Chaudhuri baseline over the offline candidate set.
     Bc,
+    /// The C²UCB contextual bandit over the offline candidate set, with a
+    /// safety gate falling back to the current configuration.
+    Bandit {
+        /// Seed for the deterministic splitmix64 tie-break hash.
+        seed: u64,
+    },
     /// Never recommends anything.
     NoIndex,
     /// Recommends every offline candidate from the first statement.

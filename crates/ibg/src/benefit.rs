@@ -44,6 +44,18 @@ pub fn max_benefit(ibg: &IndexBenefitGraph, a: IndexId) -> f64 {
     best
 }
 
+/// In-context marginal benefit of `a` with respect to configuration
+/// `context`: `cost(context − {a}) − cost(context ∪ {a})`.  This is the
+/// quantity the greedy baselines (BC) and the bandit arm use as the
+/// per-statement reward signal: how much the statement gains from having `a`
+/// on top of everything else currently deployed.  Negative for maintained
+/// indexes under updates.
+pub fn marginal_benefit(ibg: &IndexBenefitGraph, a: IndexId, context: &IndexSet) -> f64 {
+    let mut without = context.clone();
+    without.remove(a);
+    benefit_single(ibg, a, &without)
+}
+
 /// Benefits of all relevant indices for this statement (id, β) with β > 0
 /// entries only.
 pub fn positive_benefits(ibg: &IndexBenefitGraph) -> Vec<(IndexId, f64)> {
@@ -160,6 +172,23 @@ mod tests {
         assert!(pos.iter().all(|(_, b)| *b > 0.0));
         assert!(pos.iter().any(|(id, _)| *id == ids[1]));
         assert!(!pos.iter().any(|(id, _)| *id == ids[0]));
+    }
+
+    #[test]
+    fn marginal_benefit_removes_the_index_from_its_own_context() {
+        let (db, ids, query, _) = setup();
+        let ibg = ibg_for(&db, &ids, &query);
+        let a = ids[0];
+        let ctx = IndexSet::from_iter(ids.iter().copied());
+        // Whether or not `a` is in the context, the marginal is measured
+        // against `context − {a}`.
+        let mut without = ctx.clone();
+        without.remove(a);
+        assert_eq!(
+            marginal_benefit(&ibg, a, &ctx),
+            marginal_benefit(&ibg, a, &without)
+        );
+        assert!(marginal_benefit(&ibg, a, &ctx) >= 0.0);
     }
 
     #[test]

@@ -169,6 +169,18 @@ impl InteractionStats {
             .unwrap_or(0.0)
     }
 
+    /// Total current interaction mass of `a` against a set of peers:
+    /// `Σ_{b ∈ peers, b ≠ a} doi*_N(a, b)`.  Used as a context feature by the
+    /// bandit arm: an index that interacts strongly with the deployed
+    /// configuration is riskier to reason about independently.
+    pub fn current_mass(&self, a: IndexId, peers: &simdb::index::IndexSet, now: u64) -> f64 {
+        peers
+            .iter()
+            .filter(|&b| b != a)
+            .map(|b| self.current_doi(a, b, now))
+            .sum()
+    }
+
     /// All pairs with recorded interactions, with their current doi.
     pub fn current_pairs(&self, now: u64) -> Vec<(IndexId, IndexId, f64)> {
         self.stats
@@ -261,6 +273,19 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         stats.retain(|id| id != IndexId(1));
         assert!(stats.current_pairs(4).is_empty());
+    }
+
+    #[test]
+    fn interaction_mass_sums_over_peers_and_skips_self() {
+        use simdb::index::IndexSet;
+        let mut stats = InteractionStats::new(5);
+        stats.record(IndexId(1), IndexId(2), 4, 3.0);
+        stats.record(IndexId(1), IndexId(3), 4, 5.0);
+        let peers = IndexSet::from_iter([IndexId(1), IndexId(2), IndexId(3)]);
+        let mass = stats.current_mass(IndexId(1), &peers, 4);
+        assert!((mass - 8.0).abs() < 1e-12);
+        // No recorded pairs → zero mass.
+        assert_eq!(stats.current_mass(IndexId(9), &peers, 4), 0.0);
     }
 
     #[test]

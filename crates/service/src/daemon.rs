@@ -809,6 +809,13 @@ impl TuningService {
         self.slot_ref(id).session.stats()
     }
 
+    /// Safety-gate fallbacks reported by a session's advisor (0 for
+    /// advisors without a gate; see
+    /// [`wfit_core::IndexAdvisor::safety_fallbacks`]).
+    pub fn session_safety_fallbacks(&self, id: SessionId) -> u64 {
+        self.slot_ref(id).session.safety_fallbacks()
+    }
+
     /// What-if requests issued on behalf of a session (through its forked
     /// environment counter).
     pub fn session_whatif_requests(&self, id: SessionId) -> u64 {

@@ -576,6 +576,119 @@ mod simdb_properties {
     }
 }
 
+/// Properties of the C²UCB bandit arm: deterministic replay, the safety
+/// gate's never-worse invariant, and monotone cumulative regret.
+mod bandit_properties {
+    use super::*;
+    use advisors::{compute_optimal, BanditAdvisor, BanditConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Arm scores, recommendations and fallback counts are a pure
+        /// function of (history, seed): two replays of the same scripted
+        /// workload are bit-identical at every step.
+        #[test]
+        fn bandit_replay_is_bit_identical(
+            savings in savings_strategy(3, 8),
+            seed in 0u64..1_000_000,
+        ) {
+            let (env, stmts, ids) = additive_env(&savings, 150.0, 25.0);
+            let trace = || {
+                let mut bandit =
+                    BanditAdvisor::new(&env, ids.clone(), BanditConfig::with_seed(seed));
+                let mut out: Vec<u64> = Vec::new();
+                for q in &stmts {
+                    bandit.analyze_query(q);
+                    for (id, score) in bandit.arm_scores(q) {
+                        out.push(id.0 as u64);
+                        out.push(score.to_bits());
+                    }
+                    out.push(bandit.recommend().len() as u64);
+                    out.push(bandit.safety_fallbacks());
+                }
+                out
+            };
+            prop_assert_eq!(trace(), trace());
+        }
+
+        /// The safety gate never adopts a proposal whose model-estimated
+        /// cost exceeds staying put; a rejected proposal leaves the deployed
+        /// configuration untouched and bumps the (monotone) fallback counter.
+        #[test]
+        fn safety_gate_never_adopts_a_worse_estimate(
+            savings in savings_strategy(3, 10),
+            seed in 0u64..1_000_000,
+        ) {
+            let (env, stmts, ids) = additive_env(&savings, 150.0, 25.0);
+            let mut bandit = BanditAdvisor::new(&env, ids.clone(), BanditConfig::with_seed(seed));
+            let mut fallbacks_before = 0;
+            for q in &stmts {
+                let before = bandit.recommend();
+                bandit.analyze_query(q);
+                if let Some(gate) = bandit.last_gate() {
+                    if gate.adopted {
+                        prop_assert!(gate.est_proposed <= gate.est_stay + 1e-9);
+                        prop_assert_eq!(bandit.recommend(), gate.proposed.clone());
+                    } else {
+                        prop_assert!(gate.est_proposed > gate.est_stay);
+                        prop_assert_eq!(bandit.recommend(), before.clone());
+                    }
+                }
+                let fallbacks = bandit.safety_fallbacks();
+                prop_assert!(fallbacks >= fallbacks_before);
+                fallbacks_before = fallbacks;
+            }
+        }
+
+        /// Cumulative regret is monotone non-decreasing — both for an
+        /// arbitrary non-decreasing cost series and for the bandit's own
+        /// evaluator run — and `regret_of` is the series' last element.
+        #[test]
+        fn regret_series_is_monotone_non_decreasing(
+            savings in savings_strategy(2, 8),
+            steps in proptest::collection::vec(0.0f64..250.0, 8),
+            seed in 0u64..1_000_000,
+        ) {
+            let (env, stmts, ids) = additive_env(&savings, 150.0, 25.0);
+            let partition: Vec<Vec<IndexId>> = ids.iter().map(|&i| vec![i]).collect();
+            let opt = compute_optimal(&env, &stmts, &partition, &IndexSet::empty());
+
+            // Any non-decreasing cumulative run-cost series has monotone
+            // clamped regret.
+            let mut cumulative = Vec::new();
+            let mut acc = 0.0;
+            for s in &steps {
+                acc += s;
+                cumulative.push(acc);
+            }
+            let series = opt.regret_series(&cumulative);
+            prop_assert_eq!(series.len(), cumulative.len());
+            let mut prev = 0.0;
+            for &r in &series {
+                prop_assert!(r >= prev, "regret series must never decrease");
+                prev = r;
+            }
+            prop_assert_eq!(
+                opt.regret_of(&cumulative).to_bits(),
+                series.last().copied().unwrap_or(0.0).to_bits()
+            );
+
+            // The bandit's actual run through the evaluator obeys the same
+            // invariant end-to-end.
+            let mut bandit = BanditAdvisor::new(&env, ids.clone(), BanditConfig::with_seed(seed));
+            let run = Evaluator::new(&env).run(&mut bandit, &stmts, &RunOptions::default());
+            let cum: Vec<f64> = run.outcomes.iter().map(|o| o.cumulative_total_work).collect();
+            let bandit_series = opt.regret_series(&cum);
+            let mut prev = 0.0;
+            for &r in &bandit_series {
+                prop_assert!(r >= prev);
+                prev = r;
+            }
+        }
+    }
+}
+
 /// Admission-gate (backpressure) properties of the bounded service ingress.
 ///
 /// Model-based: every generated interleaving of query/vote submissions and

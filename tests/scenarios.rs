@@ -149,6 +149,123 @@ fn fig11_mini_matches_golden() {
 }
 
 #[test]
+fn bandit_mini_matches_golden() {
+    let report = check_against_golden(scenarios::bandit_mini());
+    sanity(&report);
+    assert_eq!(report.cells.len(), 5);
+    let bandit = report.cell("BANDIT").unwrap();
+    let noop = report.cell("NO-INDEX").unwrap();
+    // The acceptance bar for the bandit arm: it must beat doing nothing —
+    // strictly lower cumulative regret than the naive cell — and its safety
+    // gate must actually have fired during the drift phases.
+    assert!(
+        bandit.regret < noop.regret,
+        "bandit regret {} must be strictly below the naive cell's {}",
+        bandit.regret,
+        noop.regret
+    );
+    assert!(
+        bandit.safety_fallbacks > 0,
+        "the safety gate must reject at least one proposal"
+    );
+    assert!(
+        bandit.whatif_calls > 0,
+        "exploration must be charged through the TuningEnv accounting"
+    );
+    // The naive cell has no gate and no exploration to charge.
+    assert_eq!(noop.safety_fallbacks, 0);
+    // DBA votes ride on top of the model: the voted arm stays a valid cell.
+    let voted = report.cell("BANDIT-VOTED").unwrap();
+    assert!(voted.regret <= noop.regret);
+
+    // Replay-twice: the whole report renders byte-identically.
+    let rerun = run_scenario(scenarios::bandit_mini());
+    assert_eq!(report.to_json(), rerun.to_json());
+}
+
+#[test]
+fn bandit_htap_mini_matches_golden() {
+    let report = check_against_golden(scenarios::bandit_htap_mini());
+    sanity(&report);
+    assert_eq!(report.cells.len(), 4);
+    let bandit = report.cell("BANDIT").unwrap();
+    // The HTAP mix is the retreat story: the always-index baseline pays
+    // maintenance through every transactional phase, so the gated bandit
+    // must land strictly below it on cumulative regret *and* total work.
+    let all = report.cell("ALL-CAND").unwrap();
+    assert!(
+        bandit.regret < all.regret,
+        "bandit regret {} must beat the always-index cell's {} on the HTAP mix",
+        bandit.regret,
+        all.regret
+    );
+    assert!(bandit.total_work < all.total_work);
+    // The write-heavy phases are what the gate exists for: deploying into a
+    // 45%-update phase must sometimes be rejected as worse than staying put.
+    assert!(
+        bandit.safety_fallbacks > 0,
+        "the HTAP write phases must trip the safety gate"
+    );
+    // Retreating keeps the bandit within noise of the no-index floor even
+    // though it explores; the naive cell never transitions at all.
+    let noop = report.cell("NO-INDEX").unwrap();
+    assert!(bandit.total_work <= noop.total_work * 1.05);
+    assert_eq!(noop.transitions, 0);
+}
+
+/// Strip the two cell fields this PR introduced (`regret`,
+/// `safety_fallbacks`) from a committed golden snapshot, producing the
+/// pre-PR rendering of the same report.
+fn strip_bandit_fields(golden: &str) -> String {
+    let lines: Vec<&str> = golden
+        .lines()
+        .filter(|l| !l.contains("\"regret\":") && !l.contains("\"safety_fallbacks\":"))
+        .collect();
+    let mut out = String::new();
+    for (i, line) in lines.iter().enumerate() {
+        let mut kept = (*line).to_string();
+        // Dropping the last fields of an object leaves a dangling comma on
+        // the new last line; remove it so the result stays valid JSON.
+        if let Some(next) = lines.get(i + 1) {
+            let next_trim = next.trim_start();
+            if (next_trim.starts_with('}') || next_trim.starts_with(']'))
+                && kept.trim_end().ends_with(',')
+            {
+                let end = kept.trim_end().len() - 1;
+                kept.truncate(end);
+            }
+        }
+        out.push_str(&kept);
+        out.push('\n');
+    }
+    out
+}
+
+/// The `regret`/`safety_fallbacks` report additions are purely additive:
+/// stripping exactly those lines from a committed golden reconstructs the
+/// pre-PR snapshot, and the live report diffs against it with *only*
+/// "unexpected in actual" entries for the two new keys — every pre-existing
+/// field is untouched.
+#[test]
+fn report_schema_additions_are_purely_additive() {
+    let report = run_scenario(scenarios::fig8_mini());
+    let golden = fs::read_to_string(golden_path("fig8-mini")).expect("golden present");
+    let stripped = strip_bandit_fields(&golden);
+    assert_ne!(stripped, golden, "the golden does carry the new fields");
+    let diffs = report
+        .diff_against_golden(&stripped, REL_TOL)
+        .expect("stripped golden still parses as JSON");
+    assert!(!diffs.is_empty());
+    for diff in &diffs {
+        assert!(
+            diff.contains(".regret: unexpected in actual")
+                || diff.contains(".safety_fallbacks: unexpected in actual"),
+            "only the two new keys may differ from the pre-PR schema: {diff}"
+        );
+    }
+}
+
+#[test]
 fn service_mini_matches_golden() {
     let spec = scenarios::service_mini();
     let report = check_report_against_golden(&spec.name.clone(), run_service_scenario(&spec));
@@ -478,10 +595,12 @@ fn service_replay_is_deterministic_for_identical_seeds() {
 /// soak-test entry points read the environment.  The durability knob
 /// (`WFIT_PERSIST`) is the same story: library code takes
 /// `ServiceScenarioSpec::{persist, crash_at}`, only the service-throughput
-/// bench `main` reads the variable.
+/// bench `main` reads the variable.  The bandit knob (`WFIT_BANDIT`)
+/// follows suit: library code takes `ServiceScenarioSpec::with_bandit` /
+/// `AdvisorSpec::Bandit`, only the bench `main` reads the variable.
 #[test]
 fn harness_and_service_never_read_env_vars() {
-    const KNOB_NAMES: [&str; 12] = [
+    const KNOB_NAMES: [&str; 13] = [
         "WFIT_PHASE_LEN",
         "WFIT_CACHE_CAP",
         "WFIT_BATCH",
@@ -494,6 +613,7 @@ fn harness_and_service_never_read_env_vars() {
         "WFIT_OFFERED",
         "WFIT_SOAK",
         "WFIT_PERSIST",
+        "WFIT_BANDIT",
     ];
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
     let mut offenders = Vec::new();

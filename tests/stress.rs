@@ -21,6 +21,7 @@
 //! must additionally survive (many sessions of one tenant analyzing in
 //! parallel, the deployment shape the ROADMAP's async-ingestion work needs).
 
+use advisors::{BanditAdvisor, BanditConfig};
 use simdb::cache::{CacheConfig, SharedWhatIfCache};
 use simdb::catalog::CatalogBuilder;
 use simdb::database::Database;
@@ -320,6 +321,16 @@ fn concurrent_submission_with_stealing_drain_matches_sequential_replay() {
                     Box::new(Wfit::new(env, WfitConfig::default())) as Box<dyn IndexAdvisor + Send>
                 });
             }
+            // A C²UCB bandit session rides along: its ridge model and safety
+            // gate must be just as schedule-independent as WFIT's state.
+            let arms = idx.clone();
+            svc.add_session(id, format!("t{t}/bandit"), move |env| {
+                Box::new(BanditAdvisor::new(
+                    env,
+                    arms,
+                    BanditConfig::with_seed(0xC2CB ^ t as u64),
+                )) as Box<dyn IndexAdvisor + Send>
+            });
             let stmts: Vec<_> = [
                 "SELECT c FROM t WHERE a = 1",
                 "SELECT c FROM t WHERE b = 2",
@@ -348,7 +359,7 @@ fn concurrent_submission_with_stealing_drain_matches_sequential_replay() {
     let fingerprint = |svc: &TuningService| -> Vec<String> {
         (0..TENANTS as u32)
             .flat_map(|t| {
-                (0..2).map(move |s| {
+                (0..3).map(move |s| {
                     let id = SessionId::new(TenantId(t), s);
                     (t, id)
                 })
@@ -356,11 +367,12 @@ fn concurrent_submission_with_stealing_drain_matches_sequential_replay() {
             .map(|(t, id)| {
                 let stats = svc.session_stats(id);
                 format!(
-                    "t{t}/{} q={} v={} tw={} rec={} series={:?}",
+                    "t{t}/{} q={} v={} tw={} sf={} rec={} series={:?}",
                     svc.session_label(id),
                     stats.queries,
                     stats.votes,
                     stats.total_work.to_bits(),
+                    svc.session_safety_fallbacks(id),
                     svc.recommendation(id),
                     svc.cost_series(id)
                         .iter()
@@ -431,6 +443,53 @@ fn concurrent_submission_with_stealing_drain_matches_sequential_replay() {
             concurrent.tenant_processed(TenantId(t)),
             streams[t as usize].len() as u64
         );
+    }
+}
+
+/// Satellite of the bandit PR, through the full harness path: a bandit cell
+/// drained by 4 stealing workers replays every cost cell, the regret series
+/// and the safety-fallback counter bit-identical to a pinned single-worker
+/// drain of the same skewed workload.
+#[test]
+fn bandit_cells_under_stealing_drain_match_single_worker_replay() {
+    use harness::{run_service_scenario, scenarios};
+
+    // service-skew-mini ships with 4 workers + stealing on; the hot tenant
+    // guarantees the steal path actually fires.
+    let stolen = run_service_scenario(&scenarios::service_skew_mini().with_bandit(true));
+    let single = run_service_scenario(
+        &scenarios::service_skew_mini()
+            .with_bandit(true)
+            .with_workers(1)
+            .with_steal(false),
+    );
+
+    let svc = stolen.service.as_ref().expect("service summary present");
+    assert!(svc.steal && svc.stolen_runs > 0, "the drain actually stole");
+    assert_eq!(single.service.as_ref().unwrap().stolen_runs, 0);
+
+    assert_eq!(single.cells.len(), stolen.cells.len());
+    assert!(
+        stolen.cells.iter().any(|c| c.advisor == "BANDIT"),
+        "the fleet must field a bandit cell"
+    );
+    for (s, t) in single.cells.iter().zip(&stolen.cells) {
+        assert_eq!(s.label, t.label);
+        assert_eq!(
+            s.total_work.to_bits(),
+            t.total_work.to_bits(),
+            "{}: cost cells must not depend on the drain schedule",
+            s.label
+        );
+        assert_eq!(s.ratio_series, t.ratio_series, "{}", s.label);
+        assert_eq!(
+            s.regret.to_bits(),
+            t.regret.to_bits(),
+            "{}: the regret series is a pure function of session state",
+            s.label
+        );
+        assert_eq!(s.safety_fallbacks, t.safety_fallbacks, "{}", s.label);
+        assert_eq!(s.transitions, t.transitions, "{}", s.label);
     }
 }
 
